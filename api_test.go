@@ -1,0 +1,146 @@
+package gengc
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNewRejectsBadConfig(t *testing.T) {
+	if _, err := New(Config{CardBytes: 24}); err == nil {
+		t.Fatal("New accepted an invalid card size")
+	}
+	if _, err := NewManual(Config{FullThreshold: 2}); err == nil {
+		t.Fatal("NewManual accepted an invalid threshold")
+	}
+}
+
+func TestHeapAccounting(t *testing.T) {
+	rt, err := NewManual(Config{Mode: Generational, HeapBytes: 4 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := rt.NewMutator()
+	defer m.Detach()
+	objs0, bytes0 := rt.HeapObjects(), rt.HeapBytes()
+	a := m.MustAlloc(0, 64)
+	if rt.HeapObjects() != objs0+1 {
+		t.Errorf("objects = %d, want %d", rt.HeapObjects(), objs0+1)
+	}
+	if rt.HeapBytes() != bytes0+64 {
+		t.Errorf("bytes = %d, want %d", rt.HeapBytes(), bytes0+64)
+	}
+	_ = a
+}
+
+func TestGlobals(t *testing.T) {
+	rt, err := NewManual(Config{Mode: Generational, HeapBytes: 4 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := rt.NewMutator()
+	defer m.Detach()
+	a := m.MustAlloc(0, 32)
+	rt.SetGlobal(m, 3, a)
+	if rt.Global(3) != a {
+		t.Fatal("global round trip failed")
+	}
+	if rt.Global(4) != Nil {
+		t.Fatal("untouched global not nil")
+	}
+}
+
+func TestMustAllocPanicsOnHopelessOOM(t *testing.T) {
+	rt, err := NewManual(Config{
+		Mode: Generational, HeapBytes: 256 << 10,
+		YoungBytes: 128 << 10, InitialTargetBytes: 128 << 10,
+		HeadroomBytes: 64 << 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := rt.NewMutator()
+	defer m.Detach()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("MustAlloc did not panic on exhausted heap")
+		}
+		if !strings.Contains(strings.ToLower(strings.TrimSpace(
+			func() string { e, _ := r.(error); return e.Error() }())), "out of memory") {
+			t.Fatalf("panic value = %v", r)
+		}
+	}()
+	for i := 0; i < 100000; i++ {
+		m.PushRoot(m.MustAlloc(0, 1024)) // all live: must eventually panic
+		m.Safepoint()
+	}
+}
+
+func TestStatsAndCycles(t *testing.T) {
+	rt, err := NewManual(Config{Mode: Generational, HeapBytes: 4 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := rt.NewMutator()
+	defer m.Detach()
+	for i := 0; i < 100; i++ {
+		m.MustAlloc(0, 64)
+	}
+	m.Collect(false)
+	m.Collect(true)
+	st := rt.Stats()
+	if st.NumPartial != 1 || st.NumFull != 1 {
+		t.Fatalf("cycles = %d partial / %d full", st.NumPartial, st.NumFull)
+	}
+	if st.ObjectsFreed < 100 {
+		t.Errorf("freed = %d, want >= 100", st.ObjectsFreed)
+	}
+	cs := rt.Cycles()
+	if len(cs) != 2 {
+		t.Fatalf("Cycles() returned %d records", len(cs))
+	}
+}
+
+func TestSlotsAccessor(t *testing.T) {
+	rt, err := NewManual(Config{Mode: Generational, HeapBytes: 4 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := rt.NewMutator()
+	defer m.Detach()
+	a := m.MustAlloc(5, 0)
+	if got := m.Slots(a); got != 5 {
+		t.Fatalf("Slots = %d, want 5", got)
+	}
+}
+
+func TestCloseIdempotent(t *testing.T) {
+	rt, err := New(Config{Mode: Generational, HeapBytes: 4 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.Close()
+	rt.Close()
+}
+
+func TestExtensionsThroughFacade(t *testing.T) {
+	rt, err := NewManual(Config{Mode: Generational, HeapBytes: 4 << 20, UseRememberedSet: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := rt.NewMutator()
+	a := m.MustAlloc(1, 0)
+	m.PushRoot(a)
+	m.Collect(false)
+	y := m.MustAlloc(0, 32)
+	m.Write(a, 0, y)
+	m.Collect(false)
+	if rt.Collector().H.LoadSlot(a, 0) != y {
+		t.Fatal("remembered-set variant lost an inter-generational target")
+	}
+	m.Detach()
+
+	if _, err := NewManual(Config{Mode: GenerationalAging, DynamicTenure: true}); err != nil {
+		t.Fatalf("dynamic tenure through facade: %v", err)
+	}
+}

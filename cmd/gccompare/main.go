@@ -1,0 +1,85 @@
+// Command gccompare measures one profile's elapsed time under the
+// generational and non-generational collectors (median of N repeats)
+// and reports the improvement percentage — one cell of the paper's
+// Figures 8, 9 and 16–21, runnable in isolation.
+//
+//	gccompare -profile Anagram -repeats 5 -scale 0.5
+//	gccompare -profile all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"sort"
+	"time"
+
+	"gengc"
+	"gengc/internal/workload"
+)
+
+func median(ds []time.Duration) time.Duration {
+	sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+	return ds[len(ds)/2]
+}
+
+func main() {
+	var (
+		profile  = flag.String("profile", "all", "profile name, or 'all'")
+		scale    = flag.Float64("scale", 0.5, "run-length multiplier")
+		repeats  = flag.Int("repeats", 5, "repeats per configuration (median reported)")
+		cardSize = flag.Int("card", 16, "card size in bytes")
+		youngMB  = flag.Int("young", 4, "young generation size in MB")
+		pageCost = flag.Int("pagecost", 4000, "simulated memory cost per page touch")
+		aging    = flag.Bool("aging", false, "compare the aging collector instead of simple promotion")
+		oldAge   = flag.Int("age", 0, "aging tenure threshold (0 = default)")
+		seed     = flag.Int64("seed", 42, "base workload seed")
+	)
+	flag.Parse()
+
+	names := []string{*profile}
+	if *profile == "all" {
+		names = nil
+		for _, p := range workload.All() {
+			names = append(names, p.Name)
+		}
+	}
+	genMode := gengc.Generational
+	if *aging {
+		genMode = gengc.GenerationalAging
+	}
+	for _, name := range names {
+		p, ok := workload.ByName(name)
+		if !ok {
+			log.Fatalf("unknown profile %q", name)
+		}
+		p = p.Scale(*scale)
+		var med [2]time.Duration
+		var stats [2]string
+		for mi, mode := range []gengc.Mode{genMode, gengc.NonGenerational} {
+			var ds []time.Duration
+			for r := 0; r < *repeats; r++ {
+				res, err := workload.Run(p, gengc.Config{
+					Mode:          mode,
+					CardBytes:     *cardSize,
+					YoungBytes:    *youngMB << 20,
+					OldAge:        *oldAge,
+					PageCostSpins: *pageCost,
+				}, *seed+int64(r)*1000)
+				if err != nil {
+					log.Fatal(err)
+				}
+				ds = append(ds, res.Elapsed)
+				if r == *repeats/2 {
+					s := res.Summary
+					stats[mi] = fmt.Sprintf("%dp/%df gc%%=%.0f", s.NumPartial, s.NumFull, s.GCActivePct)
+				}
+			}
+			med[mi] = median(ds)
+		}
+		imp := 100 * float64(med[1]-med[0]) / float64(med[1])
+		fmt.Printf("%-14s improvement %6.1f%%   %v=%-9v [%s]   baseline=%-9v [%s]\n",
+			name, imp, genMode, med[0].Round(time.Millisecond), stats[0],
+			med[1].Round(time.Millisecond), stats[1])
+	}
+}

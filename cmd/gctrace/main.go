@@ -1,0 +1,106 @@
+// Command gctrace runs one benchmark profile with a per-cycle GC event
+// log and prints the final characterization — the single-run view behind
+// the paper's Figures 10–15.
+//
+//	gctrace -profile _213_javac -mode gen -scale 0.5
+//	gctrace -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"gengc"
+	"gengc/internal/workload"
+)
+
+type stampWriter struct{ start time.Time }
+
+func (w stampWriter) Write(p []byte) (int, error) {
+	fmt.Fprintf(os.Stderr, "[%9.2fms] %s", time.Since(w.start).Seconds()*1000, p)
+	return len(p), nil
+}
+
+func main() {
+	var (
+		profile  = flag.String("profile", "Anagram", "workload profile")
+		modeStr  = flag.String("mode", "gen", "collector: non|gen|aging")
+		scale    = flag.Float64("scale", 0.5, "run-length multiplier")
+		cardSize = flag.Int("card", 16, "card size in bytes")
+		youngMB  = flag.Int("young", 4, "young generation size in MB")
+		oldAge   = flag.Int("age", 0, "aging tenure threshold (0 = default)")
+		pageCost = flag.Int("pagecost", 0, "simulated memory cost per page touch (spins)")
+		seed     = flag.Int64("seed", 42, "workload seed")
+		list     = flag.Bool("list", false, "list profiles and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, p := range workload.All() {
+			fmt.Printf("%-14s threads=%d ops=%d alloc=%.0f%% survivors=%.1f%% oldupd=%.2f%%\n",
+				p.Name, p.Threads, p.OpsPerThread, 100*p.AllocFrac,
+				100*p.SurvivorFrac, 100*p.OldUpdateFrac)
+		}
+		return
+	}
+
+	var mode gengc.Mode
+	switch *modeStr {
+	case "non":
+		mode = gengc.NonGenerational
+	case "gen":
+		mode = gengc.Generational
+	case "aging":
+		mode = gengc.GenerationalAging
+	default:
+		log.Fatalf("unknown mode %q", *modeStr)
+	}
+
+	p, ok := workload.ByName(*profile)
+	if !ok {
+		log.Fatalf("unknown profile %q (use -list)", *profile)
+	}
+	p = p.Scale(*scale)
+
+	res, err := workload.Run(p, gengc.Config{
+		Mode:          mode,
+		CardBytes:     *cardSize,
+		YoungBytes:    *youngMB << 20,
+		OldAge:        *oldAge,
+		TrackPages:    true,
+		PageCostSpins: *pageCost,
+		Log:           stampWriter{time.Now()},
+	}, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	s := res.Summary
+	fmt.Printf("\n%s under %v: elapsed %v, %d ops, %d allocations (%d KB)\n",
+		res.Profile, res.Mode, res.Elapsed.Round(time.Millisecond), res.Ops, res.Allocs, res.AllocedB/1024)
+	fmt.Printf("collections: %d partial + %d full, GC active %.1f%% of elapsed time\n",
+		s.NumPartial, s.NumFull, s.GCActivePct)
+	if s.NumPartial > 0 {
+		fmt.Printf("per partial: %.0f objects scanned (%.0f inter-generational), %.0f freed, "+
+			"%.1f%% dirty cards, %.0f KB card area, %.0f pages, %.1f ms\n",
+			s.AvgScannedPartial, s.AvgInterGenScanned, s.AvgFreedObjsPartial,
+			s.AvgDirtyCardPct, s.AvgAreaScanned/1024, s.AvgPagesPartial,
+			s.AvgTimePartial.Seconds()*1000)
+		fmt.Printf("young mortality: %.1f%% of objects, %.1f%% of bytes freed by partials\n",
+			s.PctObjsFreedPartial, s.PctBytesFreedPartial)
+	}
+	if s.NumFull > 0 {
+		fmt.Printf("per full: %.0f objects scanned, %.0f freed, %.0f pages, %.1f ms\n",
+			s.AvgScannedFull, s.AvgFreedObjsFull, s.AvgPagesFull,
+			s.AvgTimeFull.Seconds()*1000)
+	}
+	// Final heap census (quiescent: the workload has completed; the
+	// final in-flight collection usually empties the heap of all but
+	// the runtime's global-roots object).
+	cs := res.Census
+	fmt.Printf("final heap: %d objects (%d KB), %d class blocks, %d large blocks, %.1f%% utilization\n",
+		cs.Objects, cs.ObjectBytes/1024, cs.ClassBlocks, cs.LargeBlocks, 100*cs.Utilization())
+}

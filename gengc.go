@@ -1,0 +1,212 @@
+// Package gengc is a from-scratch reproduction of "A Generational
+// On-the-fly Garbage Collector for Java" (Domani, Kolodner, Petrank;
+// PLDI 2000) as a standalone, embeddable heap and collector.
+//
+// The package manages a simulated, non-moving, byte-addressed heap.
+// Program threads attach as mutators, allocate objects made of pointer
+// slots, and read and write those slots through the paper's write
+// barrier; a collector goroutine reclaims garbage on the fly — the
+// mutators are never stopped. Three collectors are provided:
+//
+//   - the DLG-style non-generational mark-and-sweep baseline with a
+//     black/white color toggle (Remark 5.1);
+//   - the simple generational collector (§3–§5): logical generations
+//     with black as the old color, promotion after one collection, the
+//     yellow allocation color, and card marking;
+//   - the aging generational collector (§6): per-object ages and a
+//     configurable tenure threshold.
+//
+// # Quick start
+//
+//	rt, err := gengc.New(gengc.Config{Mode: gengc.Generational})
+//	if err != nil { ... }
+//	defer rt.Close()
+//
+//	m := rt.NewMutator()          // one per goroutine
+//	defer m.Detach()
+//
+//	obj, err := m.Alloc(2, 0)     // two pointer slots
+//	root := m.PushRoot(obj)       // keep it reachable
+//	child, err := m.Alloc(0, 64)  // 64-byte leaf object
+//	m.Write(obj, 0, child)        // barriered pointer store
+//	_ = m.Read(obj, 1)            // pointer load
+//	m.Safepoint()                 // call regularly!
+//	m.SetRoot(root, gengc.Nil)    // drop the structure
+//
+// Mutators must call Safepoint regularly (the paper's "cooperate",
+// checked at backward branches and calls in the JVM): the collector's
+// handshakes wait for every attached mutator, so a mutator that stops
+// calling Safepoint stalls collections. Allocation and the Collect
+// helper also act as safe points.
+package gengc
+
+import (
+	"gengc/internal/gc"
+	"gengc/internal/heap"
+	"gengc/internal/metrics"
+)
+
+// Ref is a reference to a heap object. The zero value Nil refers to no
+// object.
+type Ref = heap.Addr
+
+// Nil is the null reference.
+const Nil Ref = 0
+
+// Mode selects the collector variant.
+type Mode = gc.Mode
+
+const (
+	// NonGenerational is the baseline on-the-fly collector.
+	NonGenerational = gc.NonGenerational
+	// Generational promotes objects after one collection (§3–§5).
+	Generational = gc.Generational
+	// GenerationalAging uses per-object ages and a tenure threshold.
+	GenerationalAging = gc.GenerationalAging
+)
+
+// Config parameterizes a Runtime; zero fields assume the paper's
+// defaults: a 32 MB heap, a 4 MB young generation, 16-byte cards
+// ("object marking"), tenure threshold 4 (in the paper's age counting),
+// and a full collection once the heap is 75% allocated.
+type Config = gc.Config
+
+// Runtime owns one heap and its collector — the analogue of one JVM
+// instance in the paper's experiments.
+type Runtime struct {
+	c *gc.Collector
+}
+
+// New creates a runtime and starts its collector goroutine.
+func New(cfg Config) (*Runtime, error) {
+	c, err := gc.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	c.Start()
+	return &Runtime{c: c}, nil
+}
+
+// NewManual creates a runtime whose collections run only when Collect is
+// called — no background collector goroutine. Intended for tests and
+// deterministic experiments.
+func NewManual(cfg Config) (*Runtime, error) {
+	c, err := gc.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Runtime{c: c}, nil
+}
+
+// Close stops the collector goroutine. Mutators must be detached (or
+// quiescent) first.
+func (r *Runtime) Close() { r.c.Stop() }
+
+// NewMutator attaches a mutator. Each mutator must be used by a single
+// goroutine.
+func (r *Runtime) NewMutator() *Mutator {
+	return &Mutator{m: r.c.NewMutator(), rt: r}
+}
+
+// Collect runs one synchronous collection cycle (full or partial). It
+// must not be called from a mutator goroutine — use (*Mutator).Collect
+// there instead.
+func (r *Runtime) Collect(full bool) { r.c.CollectNow(full) }
+
+// Stats returns the aggregate collection statistics so far.
+func (r *Runtime) Stats() metrics.Summary { return r.c.Metrics().Summarize(0) }
+
+// Cycles returns the per-collection records (one entry per cycle).
+func (r *Runtime) Cycles() []metrics.Cycle { return r.c.Metrics().Cycles() }
+
+// HeapBytes returns the currently allocated bytes (live plus floating
+// garbage).
+func (r *Runtime) HeapBytes() int64 { return r.c.H.AllocatedBytes() }
+
+// HeapObjects returns the currently allocated object count.
+func (r *Runtime) HeapObjects() int64 { return r.c.H.AllocatedObjects() }
+
+// SetGlobal stores v in global root slot i. Global roots live in an
+// ordinary heap object, so the store goes through the write barrier of
+// the given mutator.
+func (r *Runtime) SetGlobal(m *Mutator, i int, v Ref) {
+	m.m.Update(r.c.Globals(), i, v)
+}
+
+// Global reads global root slot i.
+func (r *Runtime) Global(i int) Ref { return r.c.H.LoadSlot(r.c.Globals(), i) }
+
+// Verify audits heap and collector invariants; mutators must be
+// quiescent. See gc.Collector.Verify.
+func (r *Runtime) Verify() error { return r.c.Verify() }
+
+// VerifyCardInvariant checks that every inter-generational pointer lies
+// on a dirty card; mutators must be quiescent.
+func (r *Runtime) VerifyCardInvariant() error { return r.c.VerifyCardInvariant() }
+
+// Collector exposes the underlying collector for the experiment harness
+// and tests inside this module.
+func (r *Runtime) Collector() *gc.Collector { return r.c }
+
+// Mutator is a program thread's handle: its allocation cache, root
+// stack and write barrier. All methods must be called from the owning
+// goroutine.
+type Mutator struct {
+	m  *gc.Mutator
+	rt *Runtime
+}
+
+// Alloc creates an object with the given number of pointer slots and a
+// total size of at least size bytes (pass 0 for the minimal size). The
+// new object is colored with the current allocation color, per the
+// paper's create routine. On heap exhaustion the mutator transparently
+// waits for a full collection and retries; the returned error is
+// non-nil only when even repeated full collections cannot make room.
+func (m *Mutator) Alloc(slots, size int) (Ref, error) {
+	return m.m.Alloc(slots, size)
+}
+
+// MustAlloc is Alloc that panics on out-of-memory; convenient in
+// examples and workloads where OOM indicates a configuration error.
+func (m *Mutator) MustAlloc(slots, size int) Ref {
+	r, err := m.m.Alloc(slots, size)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// Write stores pointer y into slot i of object x through the write
+// barrier (the update routine of Figures 1 and 4).
+func (m *Mutator) Write(x Ref, i int, y Ref) { m.m.Update(x, i, y) }
+
+// Read loads pointer slot i of object x (no read barrier, per DLG).
+func (m *Mutator) Read(x Ref, i int) Ref { return m.m.Read(x, i) }
+
+// Slots returns the slot count of object x.
+func (m *Mutator) Slots(x Ref) int { return m.rt.c.H.Slots(x) }
+
+// PushRoot appends v to the mutator's root stack and returns the slot
+// index. Root slots model the thread stack: no write barrier applies.
+func (m *Mutator) PushRoot(v Ref) int { return m.m.PushRoot(v) }
+
+// SetRoot overwrites root slot i.
+func (m *Mutator) SetRoot(i int, v Ref) { m.m.SetRoot(i, v) }
+
+// Root returns root slot i.
+func (m *Mutator) Root(i int) Ref { return m.m.Root(i) }
+
+// NumRoots returns the root stack depth.
+func (m *Mutator) NumRoots() int { return m.m.NumRoots() }
+
+// PopRoots drops the top n root slots.
+func (m *Mutator) PopRoots(n int) { m.m.PopRoots(n) }
+
+// Safepoint responds to pending handshakes (the cooperate routine).
+func (m *Mutator) Safepoint() { m.m.Cooperate() }
+
+// Collect requests a collection and cooperates until it completes.
+func (m *Mutator) Collect(full bool) { m.m.Collect(full) }
+
+// Detach unregisters the mutator; it must not be used afterwards.
+func (m *Mutator) Detach() { m.m.Detach() }

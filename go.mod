@@ -1,0 +1,3 @@
+module gengc
+
+go 1.23

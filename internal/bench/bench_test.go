@@ -1,0 +1,161 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"gengc"
+	"gengc/internal/workload"
+)
+
+// tinyOpts keeps experiment runs minimal for unit tests.
+func tinyOpts() Options {
+	return Options{Scale: 0.002, Repeats: 1, Seed: 1, PageCost: -1}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	o := Options{}.withDefaults()
+	if o.Scale != 1.0 || o.Repeats != 3 || o.Seed == 0 || o.HeapBytes != 32<<20 {
+		t.Errorf("defaults = %+v", o)
+	}
+	if o.PageCost == 0 {
+		t.Error("default page cost not applied")
+	}
+	if o2 := (Options{PageCost: -1}).withDefaults(); o2.PageCost != 0 {
+		t.Errorf("negative PageCost should disable, got %d", o2.PageCost)
+	}
+}
+
+func TestTableFormat(t *testing.T) {
+	tab := Table{
+		ID: "fig0", Title: "demo",
+		Header: []string{"name", "value"},
+		Notes:  []string{"a note"},
+	}
+	tab.AddRow("alpha", "1.5")
+	tab.AddRow("b", "22")
+	var sb strings.Builder
+	tab.Format(&sb)
+	out := sb.String()
+	for _, want := range []string{"FIG0", "demo", "alpha", "22", "note: a note"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("formatted table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestMeasureImprovement(t *testing.T) {
+	o := tinyOpts()
+	imp, err := o.MeasureImprovement(workload.Anagram(),
+		o.withDefaults().config(gengc.Generational, defaultYoung, defaultCard, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if imp.Profile != "Anagram" {
+		t.Errorf("profile = %q", imp.Profile)
+	}
+	if imp.Gen.Mode != gengc.Generational || imp.NonGen.Mode != gengc.NonGenerational {
+		t.Error("modes not recorded")
+	}
+	if imp.Percent < -1000 || imp.Percent > 1000 {
+		t.Errorf("implausible improvement %v", imp.Percent)
+	}
+}
+
+func TestFig8Tiny(t *testing.T) {
+	tab, err := tinyOpts().Fig8()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.ID != "fig8" || len(tab.Rows) != 1 {
+		t.Fatalf("table = %+v", tab)
+	}
+	if tab.Rows[0][2] != "25.0%" {
+		t.Errorf("paper MP column = %q, want 25.0%%", tab.Rows[0][2])
+	}
+}
+
+func TestCharacterizationTables(t *testing.T) {
+	if testing.Short() {
+		t.Skip("characterization runs all profiles")
+	}
+	o := tinyOpts()
+	o.Scale = 0.003
+	chs, err := o.Characterize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chs) != 7 {
+		t.Fatalf("%d characterizations, want 7", len(chs))
+	}
+	for _, build := range []func([]Characterization) Table{
+		Fig10, Fig11, Fig12, Fig13, Fig14, Fig15,
+	} {
+		tab := build(chs)
+		if len(tab.Rows) != 7 {
+			t.Errorf("%s has %d rows, want 7", tab.ID, len(tab.Rows))
+		}
+		var sb strings.Builder
+		tab.Format(&sb) // must not panic
+	}
+}
+
+func TestPaperReferenceTablesComplete(t *testing.T) {
+	names := []string{"_201_compress", "_202_jess", "_209_db", "_213_javac", "_227_mtrt", "_228_jack", "Anagram"}
+	for _, n := range names {
+		if _, ok := paperFig10[n]; !ok {
+			t.Errorf("paperFig10 missing %s", n)
+		}
+		if _, ok := paperFig11[n]; !ok {
+			t.Errorf("paperFig11 missing %s", n)
+		}
+		if _, ok := paperFig12[n]; !ok {
+			t.Errorf("paperFig12 missing %s", n)
+		}
+		if _, ok := paperFig13[n]; !ok {
+			t.Errorf("paperFig13 missing %s", n)
+		}
+		if _, ok := paperFig15[n]; !ok {
+			t.Errorf("paperFig15 missing %s", n)
+		}
+		if _, ok := paperFig22[n]; !ok {
+			t.Errorf("paperFig22 missing %s", n)
+		}
+	}
+	for _, n := range []int{2, 4, 6, 8, 10} {
+		if _, ok := paperFig7[n]; !ok {
+			t.Errorf("paperFig7 missing %d threads", n)
+		}
+	}
+	if len(paperFig9) != 6 {
+		t.Errorf("paperFig9 has %d entries, want 6", len(paperFig9))
+	}
+}
+
+func TestMeasureRelative(t *testing.T) {
+	o := tinyOpts()
+	od := o.withDefaults()
+	rel, err := o.MeasureRelative(workload.Jess(),
+		od.config(gengc.GenerationalAging, defaultYoung, defaultCard, 1),
+		od.config(gengc.Generational, defaultYoung, defaultCard, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel < -1000 || rel > 1000 {
+		t.Errorf("implausible relative improvement %v", rel)
+	}
+}
+
+func TestTableFormatCSV(t *testing.T) {
+	tab := Table{ID: "figX", Title: "csv demo", Header: []string{"a", "b"}}
+	tab.AddRow("x,y", `q"u`)
+	var sb strings.Builder
+	tab.FormatCSV(&sb)
+	out := sb.String()
+	if !strings.Contains(out, `"x,y"`) || !strings.Contains(out, `"q""u"`) {
+		t.Errorf("CSV escaping wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "# figX: csv demo") {
+		t.Errorf("CSV header missing:\n%s", out)
+	}
+}

@@ -1,0 +1,119 @@
+package bench
+
+// Published numbers from the paper, used for the side-by-side columns
+// in the regenerated tables and in EXPERIMENTS.md. All improvements are
+// percent reduction of elapsed time from generational collection.
+
+// paperFig7 is the multithreaded Ray Tracer improvement on the 4-way
+// multiprocessor, by thread count (Figure 7).
+var paperFig7 = map[int]float64{2: 1.3, 4: 2.6, 6: 10.6, 8: 16.0, 10: 11.7}
+
+// paperFig8 is the Anagram improvement (Figure 8):
+// multiprocessor 25.0%, uniprocessor 32.7%.
+var paperFig8 = struct{ MP, UP float64 }{25.0, 32.7}
+
+// paperFig9 is the SPECjvm improvement (Figure 9): MP and UP columns.
+var paperFig9 = map[string]struct{ MP, UP float64 }{
+	"_227_mtrt":     {7.0, 25.2},
+	"_201_compress": {0.0, 2.0},
+	"_209_db":       {-0.9, 0.7},
+	"_202_jess":     {-3.7, -2.5},
+	"_213_javac":    {17.2, 15.3},
+	"_228_jack":     {-2.12, -7.7},
+}
+
+// paperFig10 is the GC activity characterization (Figure 10):
+// percent time GC active (gen), #partials, #fulls, percent time active
+// without generations, #cycles without generations.
+var paperFig10 = map[string]struct {
+	GCPct    float64
+	Partials int
+	Fulls    int
+	GCPctNG  float64
+	CyclesNG int
+}{
+	"_227_mtrt":     {21.5, 36, 0, 30.5, 26},
+	"_201_compress": {1.7, 5, 15, 1.2, 17},
+	"_209_db":       {2.4, 15, 1, 3.4, 15},
+	"_202_jess":     {13.3, 70, 2, 14.8, 51},
+	"_213_javac":    {23.8, 36, 16, 43.3, 82},
+	"_228_jack":     {7.7, 45, 4, 6.3, 35},
+	"Anagram":       {62.8, 152, 8, 78.9, 56},
+}
+
+// paperFig11 is the scanning characterization (Figure 11): old objects
+// scanned for inter-generational pointers, objects scanned per partial,
+// per full, and per collection without generations.
+var paperFig11 = map[string]struct {
+	InterGen, Partial, Full, NonGen float64
+}{
+	"_227_mtrt":     {280, 1023, -1, 238703},
+	"_201_compress": {3, 168, 4789, 4778},
+	"_209_db":       {7, 399, 294534, 287522},
+	"_202_jess":     {1373, 3797, 25411, 25446},
+	"_213_javac":    {16184, 53833, 213735, 194267},
+	"_228_jack":     {151, 4890, 14972, 11241},
+	"Anagram":       {1, 863, 273248, 271453},
+}
+
+// paperFig12 is the freeing characterization (Figure 12): percent bytes
+// freed in partials, percent objects freed in partials, in fulls, and in
+// collections without generations.
+var paperFig12 = map[string]struct {
+	BytesPartial, ObjsPartial, ObjsFull, ObjsNonGen float64
+}{
+	"_227_mtrt":     {99.89, 99.54, -1, 52.3},
+	"_201_compress": {19.29, 40.43, 2.6, 2.3},
+	"_209_db":       {97.66, 99.77, 22.2, 43.1},
+	"_202_jess":     {98.02, 97.88, 87.2, 86.3},
+	"_213_javac":    {71.25, 68.67, 44.7, 26.8},
+	"_228_jack":     {91.63, 96.58, 90.8, 94.7},
+	"Anagram":       {86.22, 93.43, 14.2, 13.2},
+}
+
+// paperFig13 is the average collection elapsed time in ms (Figure 13):
+// partial, full, and without generations.
+var paperFig13 = map[string]struct{ Partial, Full, NonGen float64 }{
+	"_227_mtrt":     {99, -1, 260},
+	"_201_compress": {17, 35, 31},
+	"_209_db":       {80, 270, 215},
+	"_202_jess":     {61, 116, 87},
+	"_213_javac":    {145, 367, 249},
+	"_228_jack":     {60, 95, 71},
+	"Anagram":       {52, 429, 346},
+}
+
+// paperFig15 is the pages touched per collection (Figure 15).
+var paperFig15 = map[string]struct{ Partial, Full, NonGen float64 }{
+	"_227_mtrt":     {1489, -1, 3355},
+	"_201_compress": {76, 124, 109},
+	"_209_db":       {944, 2794, 2827},
+	"_202_jess":     {1304, 2227, 2048},
+	"_213_javac":    {2607, 3709, 3080},
+	"_228_jack":     {1199, 2052, 1767},
+	"Anagram":       {1082, 4938, 5054},
+}
+
+// paperFig21 is the card-size sweep of improvements (Figure 21),
+// selected columns: 16-byte and 4096-byte cards.
+var paperFig21 = map[string]struct{ At16, At4096 float64 }{
+	"_201_compress": {0.11, 0.62},
+	"_202_jess":     {-4.25, -6.65},
+	"_209_db":       {-0.45, -0.63},
+	"_213_javac":    {18.82, 11.83},
+	"_227_mtrt":     {9.05, 8.90},
+	"_228_jack":     {-7.43, -6.50},
+	"Anagram":       {23.61, 35.24},
+}
+
+// paperFig22 is the dirty-card percentage at 16-byte and 4096-byte
+// cards (Figure 22).
+var paperFig22 = map[string]struct{ At16, At4096 float64 }{
+	"_201_compress": {0.01, 0.27},
+	"_202_jess":     {15.81, 61.18},
+	"_209_db":       {19.96, 21.36},
+	"_213_javac":    {9.58, 59.49},
+	"_227_mtrt":     {1.76, 29.99},
+	"_228_jack":     {17.66, 44.11},
+	"Anagram":       {1.14, 1.31},
+}

@@ -1,0 +1,103 @@
+// Package bench is the experiment harness that regenerates every table
+// and figure of the paper's evaluation (§8, Figures 7–23). Each
+// experiment runs workload profiles under the collector configurations
+// the paper compares, and renders the same rows the paper reports, side
+// by side with the paper's published numbers where applicable.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a rendered experiment result.
+type Table struct {
+	ID     string // "fig7" ... "fig23"
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// Format renders the table with aligned columns.
+func (t *Table) Format(w io.Writer) {
+	fmt.Fprintf(w, "%s — %s\n", strings.ToUpper(t.ID), t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		var b strings.Builder
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			pad := 0
+			if i < len(widths) {
+				pad = widths[i] - len(c)
+			}
+			if i == 0 {
+				b.WriteString(c + strings.Repeat(" ", pad))
+			} else {
+				b.WriteString(strings.Repeat(" ", pad) + c)
+			}
+		}
+		fmt.Fprintln(w, "  "+b.String())
+	}
+	line(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "  note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+// pct formats a percentage with one decimal.
+func pct(v float64) string { return fmt.Sprintf("%.1f%%", v) }
+
+// f1 formats a float with one decimal.
+func f1(v float64) string { return fmt.Sprintf("%.1f", v) }
+
+// f0 formats a float with no decimals.
+func f0(v float64) string { return fmt.Sprintf("%.0f", v) }
+
+// FormatCSV renders the table as CSV (one header row, then data rows),
+// for downstream plotting.
+func (t *Table) FormatCSV(w io.Writer) {
+	esc := func(s string) string {
+		if strings.ContainsAny(s, ",\"\n") {
+			return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+		}
+		return s
+	}
+	row := func(cells []string) {
+		out := make([]string, len(cells))
+		for i, c := range cells {
+			out[i] = esc(c)
+		}
+		fmt.Fprintln(w, strings.Join(out, ","))
+	}
+	fmt.Fprintf(w, "# %s: %s\n", t.ID, t.Title)
+	row(t.Header)
+	for _, r := range t.Rows {
+		row(r)
+	}
+}

@@ -1,0 +1,141 @@
+// Package card implements the card-marking machinery of §3.1 and §7 of
+// the paper: the heap is partitioned into cards, mutators mark a card
+// dirty whenever they store a pointer into it, and the collector scans
+// objects on dirty cards for inter-generational pointers at the start of
+// a partial collection.
+//
+// Card sizes from 16 bytes ("object marking") up to 4096 bytes ("block
+// marking") are supported — the full range the paper sweeps in §8.5.3.
+//
+// The paper keeps a designated byte per card and relies on hardware
+// per-byte store atomicity. Go does not expose that, so the table packs
+// one bit per card into 32-bit words manipulated with atomic or/and —
+// a stronger primitive, which keeps the delicate clear/check/re-set
+// protocol of §7.2 intact while letting the collector skip 32 clean
+// cards with a single load (the moral equivalent of the paper's tight
+// byte-table scan).
+package card
+
+import (
+	"fmt"
+	"math/bits"
+	"sync/atomic"
+)
+
+// MinSize and MaxSize bound the supported card sizes (both inclusive,
+// powers of two): 16 bytes is the paper's "object marking", 4096 its
+// "block marking".
+const (
+	MinSize = 16
+	MaxSize = 4096
+)
+
+// Table is a card table over a heap of a fixed size.
+type Table struct {
+	cardSize int
+	shift    uint // log2(cardSize)
+	nCards   int
+	words    []uint32 // one dirty bit per card
+}
+
+// NewTable builds a card table for heapBytes of heap with the given card
+// size, which must be a power of two in [MinSize, MaxSize].
+func NewTable(heapBytes, cardSize int) (*Table, error) {
+	if cardSize < MinSize || cardSize > MaxSize || cardSize&(cardSize-1) != 0 {
+		return nil, fmt.Errorf("card: invalid card size %d (want power of two in [%d, %d])", cardSize, MinSize, MaxSize)
+	}
+	shift := uint(0)
+	for 1<<shift != cardSize {
+		shift++
+	}
+	n := (heapBytes + cardSize - 1) / cardSize
+	return &Table{cardSize: cardSize, shift: shift, nCards: n, words: make([]uint32, (n+31)/32)}, nil
+}
+
+// Size returns the card size in bytes.
+func (t *Table) Size() int { return t.cardSize }
+
+// NumCards returns the number of cards in the table.
+func (t *Table) NumCards() int { return t.nCards }
+
+// IndexOf returns the card index covering byte address addr.
+func (t *Table) IndexOf(addr uint32) int { return int(addr >> t.shift) }
+
+// Bounds returns the byte range [start, end) covered by card ci.
+func (t *Table) Bounds(ci int) (start, end uint32) {
+	return uint32(ci) << t.shift, uint32(ci+1) << t.shift
+}
+
+// Mark dirties the card containing addr. This is the MarkCard of
+// Figures 1 and 4; in the aging algorithm the mutator must call it
+// after the slot store (the order the §7.2 race argument depends on).
+func (t *Table) Mark(addr uint32) {
+	ci := addr >> t.shift
+	atomic.OrUint32(&t.words[ci>>5], 1<<(ci&31))
+}
+
+// IsDirty reports whether card ci is marked.
+func (t *Table) IsDirty(ci int) bool {
+	return atomic.LoadUint32(&t.words[ci>>5])&(1<<(uint(ci)&31)) != 0
+}
+
+// Clear resets card ci. In the aging collector this is step 1 of the
+// three-step clear/check/re-set sequence.
+func (t *Table) Clear(ci int) {
+	atomic.AndUint32(&t.words[ci>>5], ^uint32(1<<(uint(ci)&31)))
+}
+
+// MarkIndex re-dirties card ci directly (step 3 of the §7.2 sequence,
+// when the check of step 2 found a surviving inter-generational
+// pointer).
+func (t *Table) MarkIndex(ci int) {
+	atomic.OrUint32(&t.words[ci>>5], 1<<(uint(ci)&31))
+}
+
+// ClearAll resets every card; used by InitFullCollection in the simple
+// algorithm (the aging variant deliberately keeps its marks, §6).
+func (t *Table) ClearAll() {
+	for i := range t.words {
+		atomic.StoreUint32(&t.words[i], 0)
+	}
+}
+
+// ForEachDirtyIn calls fn for every dirty card in [lo, hi], scanning a
+// word (32 cards) at a time so that clean stretches cost one load each.
+// Cards marked concurrently with the scan may or may not be visited —
+// the §7.2 protocol tolerates both outcomes.
+func (t *Table) ForEachDirtyIn(lo, hi int, fn func(ci int)) {
+	if hi >= t.nCards {
+		hi = t.nCards - 1
+	}
+	for ci := lo; ci <= hi; {
+		w := atomic.LoadUint32(&t.words[ci>>5])
+		// Mask off bits below ci within its word.
+		w &= ^uint32(0) << (uint(ci) & 31)
+		base := ci &^ 31
+		for w != 0 {
+			b := bits.TrailingZeros32(w)
+			idx := base + b
+			if idx > hi {
+				return
+			}
+			fn(idx)
+			w &= w - 1
+		}
+		ci = base + 32
+	}
+}
+
+// CountDirty returns the number of dirty cards in [from, to).
+func (t *Table) CountDirty(from, to int) int {
+	if to > t.nCards {
+		to = t.nCards
+	}
+	n := 0
+	for i := from; i < to; i++ {
+		if t.IsDirty(i) {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,168 @@
+package gc
+
+import "gengc/internal/heap"
+
+// forEachDirtyAllocatedCard visits every dirty card overlapping a block
+// assigned to some size class, scanning the card table a word at a time.
+// Dirty marks can only exist where objects exist (cards are marked with
+// an object's address), so restricting the scan to allocated regions is
+// sound and keeps the §7.1 window — during which mutators promote
+// freshly created objects — short. Regions are block-aligned and cards
+// never exceed a block, so regions cover whole cards. Returns the number
+// of cards scanned (the Figure 22 "allocated cards" denominator).
+func (c *Collector) forEachDirtyAllocatedCard(fn func(ci int)) int {
+	n := 0
+	pages := c.H.Pages != nil
+	c.H.AllocatedRegions(func(start, end heap.Addr) {
+		lo := c.Cards.IndexOf(start)
+		hi := c.Cards.IndexOf(end - 1)
+		n += hi - lo + 1
+		if pages {
+			// The scan reads the card table across the whole
+			// region; record the pages of the paper-layout
+			// (byte-per-card) table it would touch.
+			for ci := lo; ci <= hi; ci += heap.PageBytes {
+				c.H.Pages.TouchCardByte(ci)
+			}
+			c.H.Pages.TouchCardByte(hi)
+		}
+		c.Cards.ForEachDirtyIn(lo, hi, fn)
+	})
+	return n
+}
+
+// clearCardsSimple is ClearCards of Figure 3 (the simple promotion
+// algorithm): walk the card table; for every dirty card clear the mark
+// and re-gray the black (old) objects on it, so that the trace scans
+// them and thereby reaches the young objects they reference.
+//
+// Clearing unconditionally is sound here because every object surviving
+// the collection is promoted, turning all recorded inter-generational
+// pointers into intra-generational ones (§3.2). The call happens before
+// the color toggle, so no yellow objects exist yet (§7.1's required
+// ordering).
+func (c *Collector) clearCardsSimple() {
+	c.cyc.AllocatedCards = c.forEachDirtyAllocatedCard(func(ci int) {
+		c.cyc.DirtyCards++
+		c.Cards.Clear(ci)
+		start, end := c.Cards.Bounds(ci)
+		c.H.ForEachObjectInRange(start, end, func(addr heap.Addr) {
+			c.H.Pages.TouchHeap(addr, 1)
+			size := c.H.SizeOf(addr)
+			c.cyc.AreaScanned += size
+			if c.H.Color(addr) == heap.Black {
+				c.H.Pages.TouchHeap(addr, size)
+				if c.H.CasColor(addr, heap.Black, heap.Gray) {
+					c.markStack = append(c.markStack, addr)
+					c.cyc.InterGenScanned++
+				}
+			}
+		})
+	})
+	c.cyc.CardsScanned = c.cyc.AllocatedCards
+}
+
+// clearCardsAging is ClearCards of Figure 6: for every dirty card the
+// collector (1) clears the mark, (2) scans the tenured objects on the
+// card, graying their clear-colored targets, and (3) re-marks the card
+// if any target is still young — the three-step order that §7.2 proves
+// race-free against the mutator's update-then-mark barrier.
+//
+// It runs after the color toggle (Figure 5 order), so "young" targets
+// are exactly the non-black, non-free objects.
+//
+// One extension over the paper's Figure 6 is required for soundness: a
+// *young* object on a dirty card may hold pointers to younger objects,
+// and when it tenures (at a later sweep, silently — no store occurs, so
+// no card is marked) those pointers become inter-generational. If its
+// card were cleared here, the next partial would miss them. Figure 6
+// re-marks only for tenured sources; we additionally keep the card
+// dirty while any young object on it holds a young target, so that by
+// induction every old→young pointer is always covered by a dirty card.
+// (The cost matches the simple algorithm's, which also examines young
+// objects on dirty cards.)
+func (c *Collector) clearCardsAging() {
+	oldest := c.oldestAge()
+	c.cyc.AllocatedCards = c.forEachDirtyAllocatedCard(func(ci int) {
+		c.cyc.DirtyCards++
+		c.Cards.Clear(ci) // step 1
+		remark := false
+		start, end := c.Cards.Bounds(ci)
+		c.H.ForEachObjectInRange(start, end, func(addr heap.Addr) {
+			c.H.Pages.TouchHeap(addr, 1)
+			size := c.H.SizeOf(addr)
+			c.cyc.AreaScanned += size
+			tenured := c.H.Color(addr) == heap.Black && c.H.Age(addr) >= oldest
+			slots := c.H.Slots(addr)
+			if !tenured {
+				// Young source: keep the card while it points at
+				// anything young, so its tenure cannot orphan an
+				// inter-generational pointer.
+				for i := 0; i < slots && !remark; i++ {
+					t := c.H.LoadSlot(addr, i)
+					if t == 0 {
+						continue
+					}
+					if col := c.H.Color(t); col != heap.Black && col != heap.Blue {
+						remark = true
+					}
+				}
+				return
+			}
+			c.H.Pages.TouchAge(addr)
+			c.H.Pages.TouchHeap(addr, size)
+			c.cyc.InterGenScanned++
+			for i := 0; i < slots; i++ {
+				t := c.H.LoadSlot(addr, i)
+				if t == 0 {
+					continue
+				}
+				c.collectorMarkGray(t) // step 2
+				if col := c.H.Color(t); col != heap.Black && col != heap.Blue {
+					remark = true
+				}
+			}
+		})
+		if remark {
+			c.Cards.MarkIndex(ci) // step 3
+		}
+	})
+	c.cyc.CardsScanned = c.cyc.AllocatedCards
+}
+
+// initFullCollection is InitFullCollection of Figures 3 and 6: recolor
+// all black and gray objects with the (pre-toggle) allocation color so
+// that the toggle makes the whole heap collectible. The simple algorithm
+// also clears every card mark ("a full collection begins by clearing
+// card marks, without tracing from the dirty cards", §3.2); the aging
+// algorithm keeps them, because its inter-generational pointers can
+// outlive a full collection (§6).
+func (c *Collector) initFullCollection() {
+	// Recoloring invalidates every all-black hint.
+	for b := 1; b < c.H.NumBlocks(); b++ {
+		c.H.SetAllBlackHint(b, false)
+	}
+	ac := heap.Color(c.allocColor.Load())
+	c.H.ForEachObject(func(addr heap.Addr) {
+		c.H.Pages.TouchHeap(addr, 1)
+		if col := c.H.Color(addr); col == heap.Black || col == heap.Gray {
+			c.H.SetColor(addr, ac)
+		}
+	})
+	if c.cfg.Mode == Generational {
+		c.Cards.ClearAll()
+		for ci := 0; ci < c.Cards.NumCards(); ci += heap.PageBytes {
+			c.H.Pages.TouchCardByte(ci)
+		}
+	}
+}
+
+// switchColors is SwitchAllocationClearColors of Figure 3: exchange the
+// meaning of the two toggled colors. Only the collector writes these
+// variables; mutators read them on every allocation and barrier call.
+func (c *Collector) switchColors() {
+	a := c.allocColor.Load()
+	cl := c.clearColor.Load()
+	c.clearColor.Store(a)
+	c.allocColor.Store(cl)
+}

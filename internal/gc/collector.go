@@ -1,0 +1,369 @@
+package gc
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"gengc/internal/card"
+	"gengc/internal/heap"
+	"gengc/internal/metrics"
+)
+
+// Status is a mutator/collector handshake status. The collection cycle
+// advances async → sync1 → sync2 → async (§7: the period between the
+// first and second handshake is sync1, between the second and third
+// sync2, and the rest async).
+type Status uint32
+
+const (
+	StatusAsync Status = iota
+	StatusSync1
+	StatusSync2
+)
+
+func (s Status) String() string {
+	switch s {
+	case StatusAsync:
+		return "async"
+	case StatusSync1:
+		return "sync1"
+	case StatusSync2:
+		return "sync2"
+	}
+	return "invalid"
+}
+
+// Collector owns the heap, card table and collection machinery. One
+// Collector corresponds to one JVM instance of the paper.
+type Collector struct {
+	H     *heap.Heap
+	Cards *card.Table
+	cfg   Config
+	rec   *metrics.Recorder
+
+	// Color-toggle state (§5). Written by the collector only, read by
+	// mutators on every allocation and barrier invocation.
+	allocColor atomic.Uint32
+	clearColor atomic.Uint32
+
+	// statusC is the collector's handshake status.
+	statusC atomic.Uint32
+
+	// tracing is the "Collector is tracing" predicate of the Figure 1
+	// barrier: true from the start of a cycle until the trace reaches
+	// its fixpoint.
+	tracing atomic.Bool
+
+	// ackEpoch drives the trace-termination acknowledgement rounds
+	// (see trace.go).
+	ackEpoch atomic.Int64
+
+	// grayProduced counts gray transitions performed by mutators; the
+	// trace-termination fixpoint check compares it across an
+	// acknowledgement round (monotonic, never reset).
+	grayProduced atomic.Int64
+
+	// muts is the mutator registry.
+	muts struct {
+		sync.Mutex
+		list   []*Mutator
+		nextID int
+	}
+
+	// globals is a heap object holding the global root slots; stores
+	// to it go through the normal write barrier, so it needs no
+	// special treatment beyond being grayed as a root each cycle.
+	globals heap.Addr
+
+	// markStack is the collector's gray set working stack. Only the
+	// collector goroutine touches it.
+	markStack []heap.Addr
+
+	// orphans holds gray objects inherited from detached mutators.
+	orphans struct {
+		sync.Mutex
+		buf []heap.Addr
+	}
+
+	// remOrphans holds remembered-set entries from detached mutators.
+	remOrphans struct {
+		sync.Mutex
+		buf []heap.Addr
+	}
+
+	// dynOldAge is the current tenure threshold; equals cfg.OldAge
+	// unless DynamicTenure adjusts it.
+	dynOldAge atomic.Int32
+
+	// phase and sweepBlock drive the toggle-free create protocol
+	// (notoggle.go): the collector's coarse phase and the block the
+	// sweep is currently processing.
+	phase      atomic.Uint32
+	sweepBlock atomic.Int32
+
+	// cyc accumulates the current cycle's counters (collector
+	// goroutine only).
+	cyc metrics.Cycle
+
+	// youngAlloc counts bytes allocated since the last collection
+	// (the §3.3 partial trigger).
+	youngAlloc atomic.Int64
+
+	// fullTarget is the adaptive full-collection trigger: a full
+	// cycle is requested once allocated bytes reach it. It models the
+	// paper's growing heap (1 MB initial, 32 MB max): after every
+	// full collection it tracks the live set plus HeadroomBytes,
+	// clamped to [InitialTargetBytes, FullThreshold·HeapBytes].
+	fullTarget atomic.Int64
+
+	// cyclesDone and fullsDone count completed collections; the
+	// allocation slow path waits on them.
+	cyclesDone atomic.Int64
+	fullsDone  atomic.Int64
+
+	// fullWaiters counts mutators blocked in the allocation slow path
+	// waiting for a full collection; their requests are never treated
+	// as stale.
+	fullWaiters atomic.Int64
+
+	// Collection requests. wantFull upgrades a pending request.
+	reqCh    chan struct{}
+	wantFull atomic.Bool
+	pending  atomic.Bool
+
+	// cycleMu serializes collection cycles (background goroutine vs
+	// synchronous CollectNow calls from tests and the OOM path).
+	cycleMu sync.Mutex
+
+	stopCh  chan struct{}
+	doneCh  chan struct{}
+	started atomic.Bool
+}
+
+// New builds a collector and its heap. Start must be called before any
+// allocation can trigger background collections; collections can also be
+// run synchronously with CollectNow (used by tests).
+func New(cfg Config) (*Collector, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	h, err := heap.New(cfg.HeapBytes)
+	if err != nil {
+		return nil, err
+	}
+	ct, err := card.NewTable(h.SizeBytes, cfg.CardBytes)
+	if err != nil {
+		return nil, err
+	}
+	c := &Collector{H: h, Cards: ct, cfg: cfg, rec: metrics.NewRecorder()}
+	if cfg.TrackPages || cfg.PageCostSpins > 0 {
+		h.Pages = heap.NewPageSet(h.SizeBytes, ct.NumCards())
+		h.Pages.CostSpins = cfg.PageCostSpins
+	}
+	c.allocColor.Store(uint32(heap.White))
+	if cfg.DisableColorToggle {
+		// No yellow role: white is both the creation default and the
+		// clear color; createColor overrides per phase.
+		c.clearColor.Store(uint32(heap.White))
+	} else {
+		c.clearColor.Store(uint32(heap.Yellow))
+	}
+	c.fullTarget.Store(int64(cfg.InitialTargetBytes))
+	c.dynOldAge.Store(int32(cfg.OldAge))
+	c.reqCh = make(chan struct{}, 1)
+	c.stopCh = make(chan struct{})
+	c.doneCh = make(chan struct{})
+
+	// The global-roots object. Allocated with a private cache; its
+	// cells' block stays live for the runtime's lifetime.
+	var cache heap.Cache
+	slots := cfg.GlobalRootSlots
+	g, err := h.Alloc(&cache, slots, heap.HeaderBytes+slots*heap.WordBytes, c.AllocColor())
+	if err != nil {
+		return nil, fmt.Errorf("gc: allocating global roots: %w", err)
+	}
+	c.globals = g
+	h.Flush(&cache)
+	return c, nil
+}
+
+// Config returns the collector's effective configuration.
+func (c *Collector) Config() Config { return c.cfg }
+
+// Metrics returns the cycle recorder.
+func (c *Collector) Metrics() *metrics.Recorder { return c.rec }
+
+// AllocColor returns the current allocation color.
+func (c *Collector) AllocColor() heap.Color { return heap.Color(c.allocColor.Load()) }
+
+// ClearColor returns the current clear color.
+func (c *Collector) ClearColor() heap.Color { return heap.Color(c.clearColor.Load()) }
+
+// Globals returns the address of the global-roots object.
+func (c *Collector) Globals() heap.Addr { return c.globals }
+
+// CyclesDone returns the number of completed collection cycles.
+func (c *Collector) CyclesDone() int64 { return c.cyclesDone.Load() }
+
+// FullsDone returns the number of completed full collections.
+func (c *Collector) FullsDone() int64 { return c.fullsDone.Load() }
+
+// Start launches the background collector goroutine.
+func (c *Collector) Start() {
+	if !c.started.CompareAndSwap(false, true) {
+		return
+	}
+	go c.run()
+}
+
+// Stop terminates the background collector goroutine (after any cycle in
+// progress completes). It is idempotent.
+func (c *Collector) Stop() {
+	if !c.started.Load() {
+		return
+	}
+	select {
+	case <-c.stopCh:
+		return
+	default:
+		close(c.stopCh)
+	}
+	<-c.doneCh
+}
+
+// run is the collector goroutine: it waits for a trigger and runs one
+// cycle per request, coalescing requests that arrive mid-cycle.
+func (c *Collector) run() {
+	defer close(c.doneCh)
+	for {
+		select {
+		case <-c.stopCh:
+			return
+		case <-c.reqCh:
+		}
+		full := c.wantFull.Swap(false)
+		c.pending.Store(false)
+		if c.cfg.Mode == NonGenerational {
+			full = true
+		}
+		// Drop requests that went stale while a previous cycle ran:
+		// allocation during a cycle re-arms the triggers, and a
+		// second collection right after the first would find nothing
+		// to free. Full requests from mutators blocked on allocation
+		// are never stale.
+		if !full && c.youngAlloc.Load() < int64(c.cfg.YoungBytes) {
+			continue
+		}
+		if full && c.fullWaiters.Load() == 0 &&
+			c.H.AllocatedBytes() < c.fullTarget.Load() {
+			continue
+		}
+		c.Cycle(full)
+	}
+}
+
+// request asks the collector goroutine for a collection; full upgrades
+// any pending request to a full collection.
+func (c *Collector) request(full bool) {
+	if full {
+		c.wantFull.Store(true)
+	}
+	if c.pending.CompareAndSwap(false, true) {
+		select {
+		case c.reqCh <- struct{}{}:
+			// Let the collector goroutine start right away; without
+			// the yield a compute-bound mutator on a single P delays
+			// the cycle by a whole scheduling quantum.
+			runtime.Gosched()
+		default:
+			c.pending.Store(false)
+		}
+	}
+}
+
+// maybeTrigger implements §3.3: a partial collection once young
+// allocation exceeds the young generation size, a full collection once
+// the heap is almost full. Called from the allocation path.
+func (c *Collector) maybeTrigger() {
+	// Emergency bound: the heap is almost full regardless of mode.
+	if c.H.AllocatedBytes() >= int64(float64(c.H.SizeBytes)*c.cfg.FullThreshold) {
+		c.request(true)
+		return
+	}
+	if !c.cfg.Mode.IsGenerational() {
+		// Without generations every collection is full and fires
+		// from the adaptive target directly.
+		if c.H.AllocatedBytes() >= c.fullTarget.Load() {
+			c.request(true)
+		}
+		return
+	}
+	if c.youngAlloc.Load() >= int64(c.cfg.YoungBytes) {
+		c.request(false)
+	}
+	// Full collections in the generational modes are decided at the
+	// end of a partial, from what the partial failed to reclaim (see
+	// Cycle): young garbage must not trip the full-heap trigger.
+}
+
+// retarget recomputes the adaptive full-collection target after a full
+// collection: the post-collection live estimate plus a fixed headroom,
+// mirroring the paper's grow-on-demand heap.
+func (c *Collector) retarget() {
+	// The next target is based on the heap occupancy at the end of
+	// the cycle — including what the mutators allocated while the
+	// collection ran — and it never decreases: the paper's heap grows
+	// on demand from 1 MB toward 32 MB and is never shrunk, so any
+	// episode in which allocation outruns collection raises the
+	// trigger permanently. This ratchet is what lets the
+	// non-generational collector settle into a bloated heap with
+	// expensive full collections, while frequent cheap partials keep
+	// the generational heap small from the start (compare the
+	// footprints behind Figure 15).
+	t := c.H.AllocatedBytes() + int64(c.cfg.HeadroomBytes)
+	if min := int64(c.cfg.InitialTargetBytes); t < min {
+		t = min
+	}
+	if max := int64(float64(c.H.SizeBytes) * c.cfg.FullThreshold); t > max {
+		t = max
+	}
+	if prev := c.fullTarget.Load(); t < prev {
+		t = prev
+	}
+	c.fullTarget.Store(t)
+}
+
+// oldestAge returns the current tenure threshold.
+func (c *Collector) oldestAge() uint8 { return uint8(c.dynOldAge.Load()) }
+
+// OldestAge exposes the current (possibly dynamic) tenure threshold.
+func (c *Collector) OldestAge() int { return int(c.dynOldAge.Load()) }
+
+// adjustTenure implements the DynamicTenure policy after a partial
+// collection: high young survival suggests objects need more time to
+// die (raise the threshold, delaying promotion); near-total young
+// mortality means aging buys nothing over simple promotion (lower it).
+func (c *Collector) adjustTenure() {
+	freed, surv := c.cyc.ObjectsFreed, c.cyc.Survivors
+	if freed+surv == 0 {
+		return
+	}
+	survival := float64(surv) / float64(freed+surv)
+	cur := c.dynOldAge.Load()
+	switch {
+	case survival > 0.6 && cur < 10:
+		c.dynOldAge.Store(cur + 1)
+	case survival < 0.2 && cur > 1:
+		c.dynOldAge.Store(cur - 1)
+	}
+}
+
+// CollectNow runs one synchronous collection cycle on the calling
+// goroutine. The caller must not be a mutator (a mutator would deadlock
+// the handshakes; mutators use (*Mutator).Collect instead).
+func (c *Collector) CollectNow(full bool) {
+	c.Cycle(full || c.cfg.Mode == NonGenerational)
+}

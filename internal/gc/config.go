@@ -1,0 +1,217 @@
+// Package gc implements the on-the-fly garbage collectors of Domani,
+// Kolodner and Petrank, "A Generational On-the-fly Garbage Collector for
+// Java" (PLDI 2000): the DLG-style non-generational mark-and-sweep
+// collector with a black/white color toggle (the paper's baseline,
+// Remark 5.1), the simple generational collector with the yellow
+// allocation color and color toggle (§3–§5, Figures 1–3), and the aging
+// variant (§6, Figures 4–6).
+//
+// The collector runs in its own goroutine and never stops the mutators;
+// coordination uses the paper's three-handshake protocol and write
+// barrier, implemented with atomic operations in place of the paper's
+// reliance on per-byte store atomicity.
+package gc
+
+import (
+	"fmt"
+	"io"
+
+	"gengc/internal/card"
+)
+
+// Mode selects which of the paper's collectors runs.
+type Mode int
+
+const (
+	// NonGenerational is the baseline DLG collector with the
+	// black/white color toggle of Remark 5.1. Every collection is a
+	// full collection and the write barrier never touches cards.
+	NonGenerational Mode = iota
+
+	// Generational is the collector of §3–§5: logical generations
+	// (black = old), promotion after a single collection, the yellow
+	// color for objects created during a cycle, the color toggle, and
+	// card marking during the async phase only.
+	Generational
+
+	// GenerationalAging is the §6 variant: a byte-per-object age side
+	// table, a tenuring threshold, always-on card marking, and the
+	// three-step card-clearing race protocol of §7.2.
+	GenerationalAging
+)
+
+func (m Mode) String() string {
+	switch m {
+	case NonGenerational:
+		return "non-generational"
+	case Generational:
+		return "generational"
+	case GenerationalAging:
+		return "generational+aging"
+	}
+	return "invalid"
+}
+
+// Generational reports whether the mode maintains generations (and hence
+// a card table).
+func (m Mode) IsGenerational() bool { return m != NonGenerational }
+
+// Config parameterizes a collector. The zero value is not usable; call
+// (*Config).withDefaults or use the gengc package, which fills in the
+// paper's defaults (32 MB heap, 4 MB young generation, 16-byte cards,
+// simple promotion).
+type Config struct {
+	// Mode selects the collector variant.
+	Mode Mode
+
+	// HeapBytes is the heap size. The paper runs with a maximum heap
+	// of 32 MB.
+	HeapBytes int
+
+	// YoungBytes is the size parameter of the young generation
+	// (§3.3): a partial collection is triggered once the bytes
+	// allocated since the previous collection exceed it. The paper
+	// sweeps 1, 2, 4 and 8 MB and settles on 4 MB.
+	YoungBytes int
+
+	// CardBytes is the card size: 16 is the paper's "object marking",
+	// 4096 its "block marking".
+	CardBytes int
+
+	// OldAge is the aging tenure threshold: number of collections an
+	// object must survive before it is promoted (GenerationalAging
+	// only). The paper counts ages from 1 at allocation; we count
+	// survivals from 0, so our OldAge = paper's age − 1.
+	OldAge int
+
+	// FullThreshold caps the adaptive full-collection target at this
+	// fraction of the heap — the paper's "standard method of starting
+	// the concurrent collection when the heap is almost full" (§3.3).
+	// The trigger calculation is deliberately identical with and
+	// without generations (§8).
+	FullThreshold float64
+
+	// InitialTargetBytes is the starting point of the adaptive
+	// full-collection target. The paper's heap grows from 1 MB toward
+	// the 32 MB maximum, so full collections fire long before the
+	// maximum heap fills; we model that with a target that starts
+	// here and, after every full collection, tracks the live set plus
+	// HeadroomBytes (clamped to [InitialTargetBytes,
+	// FullThreshold·HeapBytes]).
+	InitialTargetBytes int
+
+	// HeadroomBytes is the allocation headroom above the live set at
+	// which the next full collection triggers. The paper's grow-on-
+	// demand heap keeps roughly constant headroom over the live data
+	// (its non-generational javac run collects every ~2.5 MB despite
+	// a double-digit-MB live set), which a multiplicative target
+	// would not reproduce.
+	HeadroomBytes int
+
+	// GlobalRootSlots is the number of global (class-static-like)
+	// root slots; they live in a heap object so that stores to them
+	// go through the ordinary write barrier.
+	GlobalRootSlots int
+
+	// DisableColorToggle runs the baseline with the *original* DLG
+	// create protocol of §2 instead of the color toggle of §5 /
+	// Remark 5.1: no yellow color, the clear color is always white,
+	// sweep recolors black objects white as it passes, and the color
+	// of a new object depends on the collector's phase and the sweep
+	// pointer. Only valid with Mode == NonGenerational; exists for
+	// the Remark 5.1 ablation.
+	DisableColorToggle bool
+
+	// UseRememberedSet replaces card marking with a remembered set
+	// for inter-generational pointers — the §3.1 alternative the
+	// paper discusses but does not build. Only valid with
+	// Mode == Generational.
+	UseRememberedSet bool
+
+	// DynamicTenure makes the aging tenure threshold self-adjusting
+	// (§6 notes dynamic policies "could easily be implemented"): the
+	// threshold rises while young survival is high and falls while
+	// almost everything dies young. Only valid with
+	// Mode == GenerationalAging; OldAge is the starting point.
+	DynamicTenure bool
+
+	// TrackPages enables the Figure 15 pages-touched instrumentation.
+	TrackPages bool
+
+	// PageCostSpins, when positive, charges the collector a busy-spin
+	// per page it touches for the first time in a cycle (implies
+	// TrackPages). This reintroduces the memory-hierarchy cost that
+	// dominated collection time on the paper's hardware; the
+	// experiment harness enables it so that the locality advantage of
+	// partial collections (Figure 15) is reflected in elapsed time as
+	// it was in the paper.
+	PageCostSpins int
+
+	// Log, when non-nil, receives one line per collection cycle.
+	Log io.Writer
+}
+
+// withDefaults returns a copy with unset fields filled with the paper's
+// chosen parameters (§8.3).
+func (c Config) withDefaults() Config {
+	if c.HeapBytes == 0 {
+		c.HeapBytes = 32 << 20
+	}
+	if c.YoungBytes == 0 {
+		c.YoungBytes = 4 << 20
+	}
+	if c.CardBytes == 0 {
+		c.CardBytes = 16
+	}
+	if c.OldAge == 0 {
+		c.OldAge = 3 // paper's default threshold 4, counted from age 1
+	}
+	if c.FullThreshold == 0 {
+		c.FullThreshold = 0.75
+	}
+	if c.InitialTargetBytes == 0 {
+		c.InitialTargetBytes = 4 << 20
+	}
+	if c.HeadroomBytes == 0 {
+		c.HeadroomBytes = 4 << 20
+	}
+	if c.GlobalRootSlots == 0 {
+		c.GlobalRootSlots = 256
+	}
+	return c
+}
+
+// validate rejects configurations the collector cannot run.
+func (c Config) validate() error {
+	if c.Mode < NonGenerational || c.Mode > GenerationalAging {
+		return fmt.Errorf("gc: invalid mode %d", int(c.Mode))
+	}
+	if c.CardBytes < card.MinSize || c.CardBytes > card.MaxSize || c.CardBytes&(c.CardBytes-1) != 0 {
+		return fmt.Errorf("gc: invalid card size %d", c.CardBytes)
+	}
+	if c.YoungBytes <= 0 || c.YoungBytes > c.HeapBytes {
+		return fmt.Errorf("gc: invalid young generation size %d (heap %d)", c.YoungBytes, c.HeapBytes)
+	}
+	if c.FullThreshold <= 0 || c.FullThreshold >= 1 {
+		return fmt.Errorf("gc: full-collection threshold %v out of (0,1)", c.FullThreshold)
+	}
+	if c.InitialTargetBytes < 64<<10 || c.InitialTargetBytes > c.HeapBytes {
+		return fmt.Errorf("gc: initial full-collection target %d out of range", c.InitialTargetBytes)
+	}
+	if c.HeadroomBytes < 64<<10 || c.HeadroomBytes > c.HeapBytes {
+		return fmt.Errorf("gc: full-collection headroom %d out of range", c.HeadroomBytes)
+	}
+	if c.OldAge < 1 || c.OldAge > 200 {
+		return fmt.Errorf("gc: tenure threshold %d out of range", c.OldAge)
+	}
+	if c.UseRememberedSet && c.Mode != Generational {
+		return fmt.Errorf("gc: remembered set requires the simple generational mode")
+	}
+	if c.DisableColorToggle && c.Mode != NonGenerational {
+		return fmt.Errorf("gc: the toggle-free create protocol is only supported without generations")
+	}
+	if c.DynamicTenure && c.Mode != GenerationalAging {
+		return fmt.Errorf("gc: dynamic tenuring requires the aging mode")
+	}
+	return nil
+}

@@ -1,0 +1,141 @@
+package gc
+
+import (
+	"fmt"
+	"time"
+
+	"gengc/internal/heap"
+	"gengc/internal/metrics"
+)
+
+// Cycle runs one complete collection cycle — the "collection cycle" of
+// Figure 2 (simple promotion and non-generational) or Figure 5 (aging):
+//
+//	clear: if full collection, InitFullCollection; Handshake(sync1)
+//	mark:  postHandshake(sync2); ClearCards and the color toggle
+//	       (order per mode); waitHandshake; postHandshake(async);
+//	       mark global roots; waitHandshake
+//	trace: process gray objects to the fixpoint
+//	sweep: reclaim clear-colored objects
+//
+// Cycles are serialized; mutators keep running throughout.
+func (c *Collector) Cycle(full bool) {
+	c.cycleMu.Lock()
+	defer c.cycleMu.Unlock()
+
+	start := time.Now()
+	youngAtStart := c.youngAlloc.Load()
+	kind := metrics.Partial
+	if full {
+		kind = metrics.Full
+	}
+	c.cyc = metrics.Cycle{Kind: kind}
+	c.H.Pages.Reset()
+
+	// --- clear ---
+	toggleFree := c.cfg.DisableColorToggle
+	if full && !toggleFree {
+		c.initFullCollection()
+	}
+	c.tracing.Store(true)
+	c.phase.Store(uint32(phaseTracing))
+	syncStart := time.Now()
+	c.handshake(StatusSync1)
+
+	// --- mark ---
+	c.postHandshake(StatusSync2)
+	switch c.cfg.Mode {
+	case Generational:
+		// Figure 2: ClearCards precedes the toggle, so the card
+		// scan finishes before any yellow object can exist (§7.1).
+		if !full {
+			if c.cfg.UseRememberedSet {
+				c.drainRememberedSet()
+			} else {
+				c.clearCardsSimple()
+			}
+		}
+		c.switchColors()
+	case GenerationalAging:
+		// Figure 5: toggle first, then the card scan, which must
+		// classify targets against the post-toggle colors. Full
+		// collections skip the scan and keep the marks (§6).
+		c.switchColors()
+		if !full {
+			c.clearCardsAging()
+		}
+	default:
+		if !toggleFree {
+			c.switchColors()
+		}
+	}
+	c.waitHandshake()
+
+	c.postHandshake(StatusAsync)
+	// Mark global roots: the globals object itself is the root; its
+	// referents are reached when the trace scans it. It may already be
+	// black (it is old): re-gray it so a partial collection scans its
+	// slots, since stores to globals mark cards like any heap store
+	// but the globals object must act as a first-class root.
+	c.collectorMarkGray(c.globals)
+	c.collectorShadeFrom(c.globals, heap.Black)
+	c.waitHandshake()
+	c.cyc.HandshakeTime = time.Since(syncStart)
+
+	// --- trace ---
+	c.trace()
+
+	// --- sweep ---
+	if toggleFree {
+		c.sweepBlock.Store(0)
+		c.phase.Store(uint32(phaseSweeping))
+		c.sweepToggleFree()
+	} else {
+		c.sweep(full)
+	}
+	c.phase.Store(uint32(phaseIdle))
+	c.H.ReclaimEmptyBlocks()
+
+	switch {
+	case full:
+		c.cyc.Survivors = c.cyc.ObjectsScanned
+	case c.cfg.Mode == Generational:
+		// Young survivors: everything blackened except the old
+		// objects re-grayed by the card scan.
+		c.cyc.Survivors = c.cyc.ObjectsScanned - c.cyc.InterGenScanned
+	}
+
+	// Bytes allocated while the cycle ran are young for the *next*
+	// cycle: subtract only the pre-cycle portion.
+	c.youngAlloc.Add(-youngAtStart)
+	c.cyc.Duration = time.Since(start)
+	c.cyc.PagesTouched = c.H.Pages.Count()
+	c.rec.Record(c.cyc)
+	if c.cfg.Log != nil {
+		fmt.Fprintf(c.cfg.Log,
+			"gc %s: %v sync=%v scanned=%d intergen=%d dirty=%d/%d freed=%d (%d B) survivors=%d pages=%d\n",
+			kind, c.cyc.Duration.Round(time.Microsecond),
+			c.cyc.HandshakeTime.Round(time.Microsecond),
+			c.cyc.ObjectsScanned, c.cyc.InterGenScanned,
+			c.cyc.DirtyCards, c.cyc.AllocatedCards,
+			c.cyc.ObjectsFreed, c.cyc.BytesFreed, c.cyc.Survivors,
+			c.cyc.PagesTouched)
+	}
+	if !full && c.cfg.DynamicTenure {
+		c.adjustTenure()
+	}
+	if full {
+		c.retarget()
+	} else if c.H.AllocatedBytes()-c.youngAlloc.Load() >= c.fullTarget.Load() {
+		// The partial left more than the target alive: the old
+		// generation has grown enough (live data or tenured
+		// garbage) that a full collection is due. This is the
+		// "heap is almost full" trigger of §3.3 evaluated against
+		// what partial collections cannot reclaim.
+		c.request(true)
+	}
+	c.cyclesDone.Add(1)
+	if full {
+		c.fullsDone.Add(1)
+	}
+}

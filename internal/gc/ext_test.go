@@ -1,0 +1,145 @@
+package gc
+
+import (
+	"testing"
+
+	"gengc/internal/heap"
+)
+
+func TestRemsetConfigValidation(t *testing.T) {
+	if _, err := New(Config{Mode: NonGenerational, UseRememberedSet: true}); err == nil {
+		t.Error("remembered set accepted without generations")
+	}
+	if _, err := New(Config{Mode: GenerationalAging, UseRememberedSet: true}); err == nil {
+		t.Error("remembered set accepted with aging")
+	}
+	if _, err := New(Config{Mode: Generational, DynamicTenure: true}); err == nil {
+		t.Error("dynamic tenure accepted without aging")
+	}
+}
+
+// TestRemsetInterGenerationalPointer: the remembered-set variant keeps a
+// young object alive that is reachable only through an old object.
+func TestRemsetInterGenerationalPointer(t *testing.T) {
+	c, err := New(Config{Mode: Generational, HeapBytes: 4 << 20,
+		YoungBytes: 1 << 20, UseRememberedSet: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := c.NewMutator()
+	old := mustAlloc(t, m, 1, 0)
+	m.PushRoot(old)
+	collectWhileCooperating(c, false, m) // promote
+	if c.H.Color(old) != heap.Black {
+		t.Fatal("setup: not promoted")
+	}
+	young := mustAlloc(t, m, 0, 32)
+	m.Update(old, 0, young)
+	// No card must be dirty — the remembered set replaced the table.
+	if c.Cards.CountDirty(0, c.Cards.NumCards()) != 0 {
+		t.Error("remembered-set mode dirtied cards")
+	}
+	collectWhileCooperating(c, false, m)
+	if !c.H.ValidObject(young) {
+		t.Fatal("young object referenced from remembered old object collected")
+	}
+	if m.Read(old, 0) != young {
+		t.Fatal("slot corrupted")
+	}
+	cs := c.Metrics().Cycles()
+	if got := cs[len(cs)-1].InterGenScanned; got != 1 {
+		t.Errorf("InterGenScanned = %d, want 1", got)
+	}
+	if err := c.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRemsetYoungUpdatesNotRecorded: updates to young objects are
+// filtered out (only black sources are remembered).
+func TestRemsetYoungUpdatesNotRecorded(t *testing.T) {
+	c, err := New(Config{Mode: Generational, HeapBytes: 4 << 20,
+		YoungBytes: 1 << 20, UseRememberedSet: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := c.NewMutator()
+	x := mustAlloc(t, m, 1, 0)
+	y := mustAlloc(t, m, 0, 32)
+	m.Update(x, 0, y) // young -> young
+	m.rem.Lock()
+	n := len(m.rem.buf)
+	m.rem.Unlock()
+	if n != 0 {
+		t.Errorf("remembered %d young updates, want 0", n)
+	}
+}
+
+// TestRemsetDetachAdoptsEntries: entries of a detached mutator survive.
+func TestRemsetDetachAdoptsEntries(t *testing.T) {
+	c, err := New(Config{Mode: Generational, HeapBytes: 4 << 20,
+		YoungBytes: 1 << 20, UseRememberedSet: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	keeper := c.NewMutator()
+	old := mustAlloc(t, keeper, 1, 0)
+	keeper.PushRoot(old)
+	collectWhileCooperating(c, false, keeper)
+
+	temp := c.NewMutator()
+	young := mustAlloc(t, temp, 0, 32)
+	temp.Update(old, 0, young)
+	temp.Detach()
+	collectWhileCooperating(c, false, keeper)
+	if !c.H.ValidObject(young) {
+		t.Fatal("remembered entry from detached mutator lost")
+	}
+}
+
+// TestDynamicTenureAdjusts: the threshold moves with young survival.
+func TestDynamicTenureAdjusts(t *testing.T) {
+	c, err := New(Config{Mode: GenerationalAging, HeapBytes: 4 << 20,
+		YoungBytes: 1 << 20, OldAge: 3, DynamicTenure: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := c.NewMutator()
+	// High survival: everything rooted.
+	for i := 0; i < 50; i++ {
+		m.PushRoot(mustAlloc(t, m, 0, 32))
+	}
+	collectWhileCooperating(c, false, m)
+	if got := c.OldestAge(); got != 4 {
+		t.Errorf("threshold after high-survival partial = %d, want 4", got)
+	}
+	// Near-total death: garbage only.
+	for cycle := 0; cycle < 4; cycle++ {
+		for i := 0; i < 500; i++ {
+			mustAlloc(t, m, 0, 32)
+		}
+		collectWhileCooperating(c, false, m)
+	}
+	if got := c.OldestAge(); got >= 4 {
+		t.Errorf("threshold after die-young partials = %d, want lowered", got)
+	}
+}
+
+// TestDynamicTenureBounds: the threshold stays within [1, 10].
+func TestDynamicTenureBounds(t *testing.T) {
+	c, err := New(Config{Mode: GenerationalAging, HeapBytes: 4 << 20,
+		YoungBytes: 1 << 20, OldAge: 1, DynamicTenure: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := c.NewMutator()
+	for cycle := 0; cycle < 5; cycle++ {
+		for i := 0; i < 100; i++ {
+			mustAlloc(t, m, 0, 32)
+		}
+		collectWhileCooperating(c, false, m)
+		if got := c.OldestAge(); got < 1 || got > 10 {
+			t.Fatalf("threshold out of bounds: %d", got)
+		}
+	}
+}

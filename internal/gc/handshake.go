@@ -1,0 +1,95 @@
+package gc
+
+import (
+	"runtime"
+	"time"
+)
+
+// handshakePause is how long the collector sleeps between polls while
+// waiting for mutators. The paper separates the handshake into
+// postHandshake and waitHandshake (§7) instead of using a second
+// collector thread; we do the same.
+const handshakePause = 10 * time.Microsecond
+
+// postHandshake publishes a new collector status; mutators observe it at
+// their next safe point and update their own status.
+func (c *Collector) postHandshake(s Status) {
+	c.statusC.Store(uint32(s))
+}
+
+// waitHandshake blocks until every attached mutator has responded to the
+// last posted status. Mutators attached mid-wait adopt the posted status
+// on attach, so they never stall the handshake; detached mutators are
+// skipped.
+func (c *Collector) waitHandshake() {
+	target := c.statusC.Load()
+	for spin := 0; ; spin++ {
+		if c.allMutatorsAt(target) {
+			return
+		}
+		yieldOrSleep(spin)
+	}
+}
+
+// yieldOrSleep cedes the processor while polling mutators: Gosched lets
+// a cooperating mutator run immediately (it yields back at its next safe
+// point). The yield budget is generous because falling back to a sleep
+// is expensive on a busy single-P system — a sleeping collector is only
+// rescheduled at the next preemption point, ~10 ms away, which would
+// stretch the sync1/sync2 window and prematurely promote everything
+// allocated inside it (§7.1).
+func yieldOrSleep(spin int) {
+	if spin < 1<<15 {
+		runtime.Gosched()
+		return
+	}
+	time.Sleep(handshakePause)
+}
+
+func (c *Collector) allMutatorsAt(target uint32) bool {
+	c.muts.Lock()
+	defer c.muts.Unlock()
+	for _, m := range c.muts.list {
+		if m.detached.Load() {
+			continue
+		}
+		if m.status.Load() != target {
+			return false
+		}
+	}
+	return true
+}
+
+// handshake is the combined post-and-wait of Figure 3.
+func (c *Collector) handshake(s Status) {
+	c.postHandshake(s)
+	c.waitHandshake()
+}
+
+// ackRound asks every mutator to pass one safe point and waits for it.
+// It closes the trace-termination race: when a mutator acknowledges the
+// epoch, every gray transition it performed before the acknowledgement
+// is visible in its gray buffer.
+func (c *Collector) ackRound() {
+	e := c.ackEpoch.Add(1)
+	for spin := 0; ; spin++ {
+		if c.allMutatorsAcked(e) {
+			return
+		}
+		yieldOrSleep(spin)
+	}
+}
+
+func (c *Collector) allMutatorsAcked(e int64) bool {
+	c.muts.Lock()
+	defer c.muts.Unlock()
+	for _, m := range c.muts.list {
+		if m.detached.Load() {
+			continue
+		}
+		if m.ack.Load() < e {
+			return false
+		}
+	}
+	return true
+}

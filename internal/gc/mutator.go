@@ -1,0 +1,341 @@
+package gc
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gengc/internal/heap"
+)
+
+// Mutator is one program thread's view of the runtime: its allocation
+// cache, its simulated stack of root slots, its handshake status, and
+// its gray buffer. All methods must be called from the single goroutine
+// that owns the mutator; the collector reads the atomic fields.
+//
+// The three mutator routines of Figure 1 map to Update (the write
+// barrier), Alloc (create) and Cooperate.
+type Mutator struct {
+	c  *Collector
+	id int
+
+	status atomic.Uint32 // Status, observed by waitHandshake
+
+	cache heap.Cache
+
+	// roots is the simulated thread stack. Only the owning goroutine
+	// reads or writes it: per DLG there is no write barrier on stack
+	// operations, and the mutator itself marks these roots when it
+	// responds to the third handshake.
+	roots []heap.Addr
+
+	// gray is the buffer of objects this mutator has shaded gray; the
+	// collector drains it during trace.
+	gray struct {
+		sync.Mutex
+		buf []heap.Addr
+	}
+
+	// rem is the remembered-set buffer (UseRememberedSet only).
+	rem struct {
+		sync.Mutex
+		buf []heap.Addr
+	}
+
+	// ack mirrors the collector's ackEpoch when the mutator passes a
+	// safe point.
+	ack atomic.Int64
+
+	detached atomic.Bool
+}
+
+// NewMutator attaches a new mutator thread to the collector.
+func (c *Collector) NewMutator() *Mutator {
+	m := &Mutator{c: c, roots: make([]heap.Addr, 0, 64)}
+	c.muts.Lock()
+	m.id = c.muts.nextID
+	c.muts.nextID++
+	// Adopt the current status: the collector's waitHandshake only
+	// completes once every registered mutator matches, and a mutator
+	// registered at the current status has nothing to respond to.
+	m.status.Store(c.statusC.Load())
+	m.ack.Store(c.ackEpoch.Load())
+	c.muts.list = append(c.muts.list, m)
+	c.muts.Unlock()
+	return m
+}
+
+// Detach removes the mutator from handshakes. Its allocation cache is
+// returned to the heap and its gray buffer is left for the collector to
+// drain. The mutator must not be used afterwards.
+func (m *Mutator) Detach() {
+	if m.detached.Swap(true) {
+		return
+	}
+	m.c.H.Flush(&m.cache)
+	m.c.muts.Lock()
+	list := m.c.muts.list
+	for i, x := range list {
+		if x == m {
+			m.c.muts.list = append(list[:i], list[i+1:]...)
+			break
+		}
+	}
+	m.c.muts.Unlock()
+	// Leftover gray entries must still reach the collector.
+	m.gray.Lock()
+	buf := m.gray.buf
+	m.gray.buf = nil
+	m.gray.Unlock()
+	if len(buf) > 0 {
+		m.c.adoptOrphans(buf)
+	}
+	m.rem.Lock()
+	rbuf := m.rem.buf
+	m.rem.buf = nil
+	m.rem.Unlock()
+	if len(rbuf) > 0 {
+		m.c.remOrphans.Lock()
+		m.c.remOrphans.buf = append(m.c.remOrphans.buf, rbuf...)
+		m.c.remOrphans.Unlock()
+	}
+}
+
+// adoptOrphans hands gray objects from a detached mutator to the
+// collector via the orphan buffer of the registry.
+func (c *Collector) adoptOrphans(buf []heap.Addr) {
+	c.orphans.Lock()
+	c.orphans.buf = append(c.orphans.buf, buf...)
+	c.orphans.Unlock()
+}
+
+// Cooperate is the mutator's safe point (Figure 1): it must be called
+// regularly — the paper cites backward branches and invocations; our
+// workloads call it once per operation. It responds to handshakes,
+// marks the thread's roots when moving from sync2 to async, and
+// acknowledges trace-termination epochs.
+func (m *Mutator) Cooperate() {
+	responded := false
+	sc := Status(m.c.statusC.Load())
+	if Status(m.status.Load()) != sc {
+		if Status(m.status.Load()) == StatusSync2 {
+			aging := m.c.cfg.Mode == GenerationalAging
+			for _, r := range m.roots {
+				if r == 0 {
+					continue
+				}
+				if aging {
+					m.markGrayAging(r)
+				} else {
+					m.markGray(r)
+				}
+			}
+		}
+		m.status.Store(uint32(sc))
+		responded = true
+	}
+	if e := m.c.ackEpoch.Load(); e != m.ack.Load() {
+		m.ack.Store(e)
+		responded = true
+	}
+	if responded {
+		// Hand the processor to the waiting collector: on a single
+		// P a compute-bound mutator would otherwise keep running a
+		// full preemption quantum, stretching the sync1/sync2 window
+		// in which the write barrier promotes freshly created
+		// objects (§7.1).
+		runtime.Gosched()
+	}
+}
+
+// markGray is the MarkGray of Figure 1: shade the object gray if it has
+// the clear color, or — during sync1/sync2 — also if it has the
+// allocation color (the §7.1 exception that protects yellow objects
+// created in the window between the card scan and the color toggle).
+func (m *Mutator) markGray(x heap.Addr) {
+	if x == 0 {
+		return
+	}
+	col := m.c.H.Color(x)
+	cc := heap.Color(m.c.clearColor.Load())
+	if col == cc {
+		m.shade(x, cc)
+		return
+	}
+	if Status(m.status.Load()) != StatusAsync {
+		ac := heap.Color(m.c.allocColor.Load())
+		if col == ac {
+			m.shade(x, ac)
+		}
+	}
+}
+
+// markGrayAging is the MarkGray of Figure 4: clear color only.
+func (m *Mutator) markGrayAging(x heap.Addr) {
+	if x == 0 {
+		return
+	}
+	cc := heap.Color(m.c.clearColor.Load())
+	if m.c.H.Color(x) == cc {
+		m.shade(x, cc)
+	}
+}
+
+// shade performs the gray transition and publishes the object to the
+// collector. The CAS guarantees each object enters a gray buffer at most
+// once per transition, which bounds the trace's total work.
+func (m *Mutator) shade(x heap.Addr, from heap.Color) {
+	if !m.c.H.CasColor(x, from, heap.Gray) {
+		return
+	}
+	m.gray.Lock()
+	m.gray.buf = append(m.gray.buf, x)
+	m.gray.Unlock()
+	m.c.grayProduced.Add(1)
+}
+
+// Update is the write barrier (Figures 1 and 4): store pointer y into
+// slot i of object x with the bookkeeping the current collector mode and
+// phase require.
+func (m *Mutator) Update(x heap.Addr, i int, y heap.Addr) {
+	c := m.c
+	switch c.cfg.Mode {
+	case GenerationalAging:
+		// Figure 4: gray old (and new while not async); the card is
+		// marked unconditionally and — crucially for the §7.2 race —
+		// only after the store.
+		if Status(m.status.Load()) != StatusAsync {
+			m.markGrayAging(c.H.LoadSlot(x, i))
+			m.markGrayAging(y)
+		} else if c.tracing.Load() {
+			m.markGrayAging(c.H.LoadSlot(x, i))
+		}
+		c.H.StoreSlot(x, i, y)
+		c.Cards.Mark(x)
+	case Generational:
+		// Figure 1: inter-generational recording only during async
+		// (card marking, or the remembered-set extension).
+		if Status(m.status.Load()) != StatusAsync {
+			m.markGray(c.H.LoadSlot(x, i))
+			m.markGray(y)
+		} else if c.tracing.Load() {
+			m.markGray(c.H.LoadSlot(x, i))
+			m.recordInterGen(x)
+		} else {
+			m.recordInterGen(x)
+		}
+		c.H.StoreSlot(x, i, y)
+	default: // NonGenerational
+		if Status(m.status.Load()) != StatusAsync {
+			m.markGray(c.H.LoadSlot(x, i))
+			m.markGray(y)
+		} else if c.tracing.Load() {
+			m.markGray(c.H.LoadSlot(x, i))
+		}
+		c.H.StoreSlot(x, i, y)
+	}
+}
+
+// recordInterGen notes that object x may now hold an inter-generational
+// pointer, via the configured mechanism.
+func (m *Mutator) recordInterGen(x heap.Addr) {
+	if m.c.cfg.UseRememberedSet {
+		m.remember(x)
+	} else {
+		m.c.Cards.Mark(x)
+	}
+}
+
+// Read loads pointer slot i of object x. DLG needs no read barrier.
+func (m *Mutator) Read(x heap.Addr, i int) heap.Addr {
+	return m.c.H.LoadSlot(x, i)
+}
+
+// Alloc is the create routine of Figure 1: pick a free cell and color it
+// with the current allocation color. size is the total object size in
+// bytes (at least header + slots); slots pointer slots are zeroed.
+//
+// When the heap is exhausted the mutator requests a full collection and
+// waits for it while continuing to cooperate with handshakes (a blocked
+// mutator that stopped responding would deadlock the collector).
+func (m *Mutator) Alloc(slots, size int) (heap.Addr, error) {
+	for attempt := 0; ; attempt++ {
+		var addr heap.Addr
+		var err error
+		if m.c.cfg.DisableColorToggle {
+			addr, err = m.allocToggleFree(slots, size)
+		} else {
+			addr, err = m.c.H.Alloc(&m.cache, slots, size, m.c.AllocColor())
+		}
+		if err == nil {
+			if size < heap.HeaderBytes+slots*heap.WordBytes {
+				size = heap.HeaderBytes + slots*heap.WordBytes
+			}
+			m.c.youngAlloc.Add(int64(size))
+			m.c.maybeTrigger()
+			return addr, nil
+		}
+		if attempt >= 3 {
+			return 0, fmt.Errorf("gc: mutator %d: %w after %d full collections", m.id, err, attempt)
+		}
+		m.waitForFullCollection()
+	}
+}
+
+// waitForFullCollection requests a full collection and cooperates until
+// one completes. Without a background collector goroutine (tests that
+// drive collections manually) the cycle is run on a helper goroutine so
+// this mutator can keep responding to its handshakes.
+func (m *Mutator) waitForFullCollection() {
+	m.c.fullWaiters.Add(1)
+	defer m.c.fullWaiters.Add(-1)
+	start := m.c.fullsDone.Load()
+	if m.c.started.Load() {
+		m.c.request(true)
+	} else {
+		go m.c.CollectNow(true)
+	}
+	for m.c.fullsDone.Load() == start {
+		m.Cooperate()
+		time.Sleep(50 * time.Microsecond)
+	}
+}
+
+// Collect runs a collection from a mutator goroutine: the cycle runs on
+// a helper goroutine (explicit requests bypass the background trigger's
+// staleness filtering) while this mutator cooperates until it completes.
+func (m *Mutator) Collect(full bool) {
+	counter := &m.c.cyclesDone
+	if full {
+		counter = &m.c.fullsDone
+	}
+	start := counter.Load()
+	go m.c.CollectNow(full)
+	for counter.Load() == start {
+		m.Cooperate()
+		time.Sleep(20 * time.Microsecond)
+	}
+}
+
+// PushRoot appends a root slot and returns its index.
+func (m *Mutator) PushRoot(v heap.Addr) int {
+	m.roots = append(m.roots, v)
+	return len(m.roots) - 1
+}
+
+// SetRoot overwrites root slot i. Stack writes have no barrier (§2).
+func (m *Mutator) SetRoot(i int, v heap.Addr) { m.roots[i] = v }
+
+// Root returns root slot i.
+func (m *Mutator) Root(i int) heap.Addr { return m.roots[i] }
+
+// NumRoots returns the current root count.
+func (m *Mutator) NumRoots() int { return len(m.roots) }
+
+// PopRoots drops the top n root slots.
+func (m *Mutator) PopRoots(n int) { m.roots = m.roots[:len(m.roots)-n] }
+
+// ID returns the mutator's registry id.
+func (m *Mutator) ID() int { return m.id }

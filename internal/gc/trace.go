@@ -1,0 +1,112 @@
+package gc
+
+import "gengc/internal/heap"
+
+// collectorMarkGray shades a clear-colored object gray and pushes it on
+// the collector's mark stack. This is MarkGray as executed by the
+// collector after the color toggle: only clear-colored objects are
+// candidates (Figure 1's allocation-color case applies to mutators in
+// sync1/sync2 only).
+func (c *Collector) collectorMarkGray(x heap.Addr) {
+	cc := heap.Color(c.clearColor.Load())
+	c.collectorShadeFrom(x, cc)
+}
+
+// collectorShadeFrom performs the from→gray transition and pushes on
+// success.
+func (c *Collector) collectorShadeFrom(x heap.Addr, from heap.Color) {
+	if x == 0 {
+		return
+	}
+	if c.H.Color(x) == from && c.H.CasColor(x, from, heap.Gray) {
+		c.markStack = append(c.markStack, x)
+	}
+}
+
+// markBlack traces one gray object (Figure 3): shade its sons gray, then
+// blacken it.
+func (c *Collector) markBlack(x heap.Addr) {
+	if c.H.Color(x) == heap.Black {
+		return
+	}
+	slots := c.H.Slots(x)
+	c.H.Pages.TouchHeap(x, heap.HeaderBytes+slots*heap.WordBytes)
+	for i := 0; i < slots; i++ {
+		c.collectorMarkGray(c.H.LoadSlot(x, i))
+	}
+	c.H.SetColor(x, heap.Black)
+	c.cyc.ObjectsScanned++
+	c.cyc.SlotsScanned += slots
+}
+
+// drainStack traces until the collector's stack is empty.
+func (c *Collector) drainStack() {
+	for len(c.markStack) > 0 {
+		x := c.markStack[len(c.markStack)-1]
+		c.markStack = c.markStack[:len(c.markStack)-1]
+		c.markBlack(x)
+	}
+}
+
+// collectBuffers moves every mutator gray buffer (and any orphaned
+// buffers of detached mutators) onto the mark stack, returning how many
+// objects were collected.
+func (c *Collector) collectBuffers() int {
+	total := 0
+	c.muts.Lock()
+	snapshot := append([]*Mutator(nil), c.muts.list...)
+	c.muts.Unlock()
+	for _, m := range snapshot {
+		m.gray.Lock()
+		buf := m.gray.buf
+		m.gray.buf = nil
+		m.gray.Unlock()
+		c.markStack = append(c.markStack, buf...)
+		total += len(buf)
+	}
+	c.orphans.Lock()
+	buf := c.orphans.buf
+	c.orphans.buf = nil
+	c.orphans.Unlock()
+	c.markStack = append(c.markStack, buf...)
+	total += len(buf)
+	return total
+}
+
+// trace runs the concurrent trace to its fixpoint: "While there is a
+// gray object: pick a gray object x; MarkBlack(x)" (Figure 2).
+//
+// Termination and completeness: every gray transition is a CAS, so the
+// total number of gray events per cycle is bounded by the number of
+// objects, and the write barrier (deletion barrier during async) keeps
+// the snapshot-at-the-beginning invariant — any object reachable when
+// the roots were marked either keeps an all-clear path that the trace
+// walks, or had an edge of that path overwritten, which grayed it.
+//
+// The delicate part is observing the fixpoint without stopping the
+// mutators: a mutator may have CASed an object gray but not yet appended
+// it to its buffer. The loop below closes that window: after draining to
+// empty it snapshots the global gray-production counter, runs an
+// acknowledgement round (every mutator passes a safe point, so every
+// gray produced before its ack is appended and visible), drains again,
+// and only finishes when the drain found nothing and the counter did not
+// move. A counter that moved means some mutator grayed an object inside
+// the window, so the loop repeats; the counter is monotonic and bounded,
+// so the loop terminates.
+func (c *Collector) trace() {
+	for {
+		c.drainStack()
+		if c.collectBuffers() > 0 {
+			continue
+		}
+		g0 := c.grayProduced.Load()
+		c.ackRound()
+		n := c.collectBuffers()
+		c.drainStack()
+		g1 := c.grayProduced.Load()
+		if n == 0 && g0 == g1 && len(c.markStack) == 0 {
+			break
+		}
+	}
+	c.tracing.Store(false)
+}

@@ -1,0 +1,305 @@
+package heap
+
+import "sync/atomic"
+
+// Cache is a per-mutator allocation cache: one free-cell list per size
+// class, threaded through the first word of each (blue) cell. It is the
+// stand-in for the DLG thread-local allocation mechanism the paper
+// mentions in §7: the common allocation path takes no lock.
+type Cache struct {
+	head  [NumClasses]Addr
+	count [NumClasses]int
+}
+
+// refillBatch bounds how many free cells one refill moves from a block's
+// free list into a mutator cache.
+const refillBatch = 64
+
+// Alloc allocates an object with the given number of pointer slots and a
+// total payload of at least size bytes (the header is added on top), and
+// colors it with allocColor — the "create" routine of Figure 1. The
+// pointer slots are zeroed. It returns ErrOutOfMemory when the heap
+// cannot satisfy the request even from a fresh block; the caller is
+// expected to force a collection and retry.
+func (h *Heap) Alloc(c *Cache, slots int, size int, allocColor Color) (Addr, error) {
+	addr, err := h.AllocBlue(c, slots, size)
+	if err != nil {
+		return 0, err
+	}
+	h.SetColor(addr, allocColor)
+	return addr, nil
+}
+
+// AllocBlue allocates and initializes a cell but leaves it blue; the
+// caller assigns the final color. Used by the toggle-free create
+// protocol, whose color depends on the sweep position: a blue cell is
+// invisible to a concurrently running sweep, so the window between
+// allocation and coloring is safe.
+func (h *Heap) AllocBlue(c *Cache, slots int, size int) (Addr, error) {
+	need := HeaderBytes + slots*WordBytes
+	if size < need {
+		size = need
+	}
+	class, cell := ClassFor(size)
+	if class < 0 {
+		return h.allocLarge(slots, cell)
+	}
+	if c.count[class] == 0 {
+		if err := h.refill(c, class); err != nil {
+			return 0, err
+		}
+	}
+	addr := c.head[class]
+	c.head[class] = atomic.LoadUint32(&h.mem[addr/WordBytes])
+	c.count[class]--
+	h.blocks[addr/BlockSize].cached.Add(-1)
+	h.initObject(addr, slots, cell)
+	return addr, nil
+}
+
+// initObject prepares a blue cell as a new object, leaving it blue.
+// Order matters: the metadata and zeroed slots must be published before
+// the caller's color store takes the cell out of blue, because the
+// collector reads the color first (acquire) and only then the metadata
+// and slots.
+func (h *Heap) initObject(addr Addr, slots, size int) {
+	g := addr / Granule
+	atomic.StoreUint32(&h.slotsOf[g], uint32(slots))
+	h.ages[g] = 0
+	base := slotIndex(addr, 0)
+	for i := 0; i < slots; i++ {
+		atomic.StoreUint32(&h.mem[base+i], 0)
+	}
+	h.allocatedBytes.Add(int64(size))
+	h.allocatedObjects.Add(1)
+}
+
+// refill moves up to refillBatch free cells of the class into the cache,
+// formatting a fresh block if no partially free block exists.
+func (h *Heap) refill(c *Cache, class int) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for {
+		// Prefer a block that already has free cells.
+		list := h.partial[class]
+		if n := len(list); n > 0 {
+			b := list[n-1]
+			bm := &h.blocks[b]
+			taken := h.takeCells(c, class, bm)
+			if bm.freeCells == 0 {
+				h.partial[class] = list[:n-1]
+				bm.inPartial = false
+			}
+			if taken > 0 {
+				return nil
+			}
+			continue
+		}
+		// Otherwise format a fresh block for this class.
+		if len(h.freeBlocks) == 0 {
+			return ErrOutOfMemory
+		}
+		b := h.freeBlocks[len(h.freeBlocks)-1]
+		h.freeBlocks = h.freeBlocks[:len(h.freeBlocks)-1]
+		h.formatBlock(b, class)
+		h.partial[class] = append(h.partial[class], b)
+		h.blocks[b].inPartial = true
+	}
+}
+
+// takeCells moves up to refillBatch cells from the block's free list into
+// the cache. Caller holds h.mu.
+func (h *Heap) takeCells(c *Cache, class int, bm *blockMeta) int {
+	taken := 0
+	for bm.freeCells > 0 && taken < refillBatch {
+		addr := bm.freeHead
+		bm.freeHead = atomic.LoadUint32(&h.mem[addr/WordBytes])
+		bm.freeCells--
+		atomic.StoreUint32(&h.mem[addr/WordBytes], c.head[class])
+		c.head[class] = addr
+		taken++
+	}
+	c.count[class] += taken
+	bm.cached.Add(int32(taken))
+	return taken
+}
+
+// formatBlock carves a free block into blue cells of the class, linked
+// into the block's free list. Caller holds h.mu.
+func (h *Heap) formatBlock(b uint32, class int) {
+	bm := &h.blocks[b]
+	bm.class.Store(int32(class))
+	bm.freeHead = 0
+	bm.freeCells = 0
+	cell := classSizes[class]
+	base := b * BlockSize
+	for i := BlockSize/cell - 1; i >= 0; i-- {
+		addr := base + uint32(i*cell)
+		h.SetColor(addr, Blue)
+		atomic.StoreUint32(&h.mem[addr/WordBytes], bm.freeHead)
+		bm.freeHead = addr
+		bm.freeCells++
+	}
+}
+
+// allocLarge allocates an object spanning whole blocks, leaving it
+// blue. size is already rounded to a granule multiple.
+func (h *Heap) allocLarge(slots, size int) (Addr, error) {
+	n := (size + BlockSize - 1) / BlockSize
+	h.mu.Lock()
+	start := h.findRun(n)
+	if start < 0 {
+		h.mu.Unlock()
+		return 0, ErrOutOfMemory
+	}
+	h.blocks[start].class.Store(blockLargeHead)
+	h.blocks[start].nBlocks = uint32(n)
+	for i := 1; i < n; i++ {
+		h.blocks[start+i].class.Store(blockLargeCont)
+	}
+	h.removeFreeBlocks(start, n)
+	h.mu.Unlock()
+
+	addr := Addr(start) * BlockSize
+	atomic.StoreUint32(&h.largeSize[addr/Granule], uint32(n*BlockSize))
+	h.initObject(addr, slots, n*BlockSize)
+	return addr, nil
+}
+
+// findRun locates n contiguous free blocks, returning the first index or
+// -1. Caller holds h.mu. Linear scan: the heap has at most a few
+// thousand blocks and large allocations are rare.
+func (h *Heap) findRun(n int) int {
+	run := 0
+	for b := 1; b < h.nBlocks; b++ {
+		if h.blocks[b].class.Load() == blockFree {
+			run++
+			if run == n {
+				return b - n + 1
+			}
+		} else {
+			run = 0
+		}
+	}
+	return -1
+}
+
+// removeFreeBlocks deletes blocks [start, start+n) from the free stack.
+// Caller holds h.mu.
+func (h *Heap) removeFreeBlocks(start, n int) {
+	out := h.freeBlocks[:0]
+	for _, b := range h.freeBlocks {
+		if int(b) < start || int(b) >= start+n {
+			out = append(out, b)
+		}
+	}
+	h.freeBlocks = out
+}
+
+// Flush returns all cells held in the cache to their blocks' free lists.
+// Called when a mutator detaches so its cached cells can be reused and
+// their blocks eventually reclaimed.
+func (h *Heap) Flush(c *Cache) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for class := 0; class < NumClasses; class++ {
+		for c.count[class] > 0 {
+			addr := c.head[class]
+			c.head[class] = atomic.LoadUint32(&h.mem[addr/WordBytes])
+			c.count[class]--
+			b := addr / BlockSize
+			bm := &h.blocks[b]
+			atomic.StoreUint32(&h.mem[addr/WordBytes], bm.freeHead)
+			bm.freeHead = addr
+			bm.freeCells++
+			bm.cached.Add(-1)
+			if !bm.inPartial {
+				h.partial[class] = append(h.partial[class], b)
+				bm.inPartial = true
+			}
+		}
+	}
+}
+
+// FreeCell releases one dead cell during sweep: the object is recolored
+// blue and threaded back onto its block's free list. Only the collector
+// calls it, for cells whose color was the clear color, so it can never
+// race with an allocation of the same cell.
+//
+// The returned bytes are the cell size (what the paper's "space freed"
+// numbers count).
+func (h *Heap) FreeCell(addr Addr) int {
+	b := addr / BlockSize
+	bm := &h.blocks[b]
+	class := bm.class.Load()
+	if class == blockLargeHead {
+		return h.freeLarge(addr)
+	}
+	size := classSizes[class]
+	h.SetColor(addr, Blue)
+	h.mu.Lock()
+	atomic.StoreUint32(&h.mem[addr/WordBytes], bm.freeHead)
+	bm.freeHead = addr
+	bm.freeCells++
+	if !bm.inPartial {
+		h.partial[class] = append(h.partial[class], b)
+		bm.inPartial = true
+	}
+	h.mu.Unlock()
+	h.allocatedBytes.Add(-int64(size))
+	h.allocatedObjects.Add(-1)
+	return size
+}
+
+// freeLarge returns a large object's blocks to the free pool.
+func (h *Heap) freeLarge(addr Addr) int {
+	h.SetColor(addr, Blue)
+	b := int(addr / BlockSize)
+	h.mu.Lock()
+	n := int(h.blocks[b].nBlocks)
+	size := n * BlockSize
+	for i := 0; i < n; i++ {
+		h.blocks[b+i].class.Store(blockFree)
+		h.blocks[b+i].nBlocks = 0
+		h.freeBlocks = append(h.freeBlocks, uint32(b+i))
+	}
+	h.mu.Unlock()
+	h.allocatedBytes.Add(-int64(size))
+	h.allocatedObjects.Add(-1)
+	return size
+}
+
+// ReclaimEmptyBlocks returns fully free small-object blocks (no live
+// cells, none cached) to the free pool so another size class can reuse
+// them. The collector calls it at the end of sweep.
+func (h *Heap) ReclaimEmptyBlocks() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	reclaimed := 0
+	for class := 0; class < NumClasses; class++ {
+		cells := int32(CellsPerBlock(class))
+		out := h.partial[class][:0]
+		for _, b := range h.partial[class] {
+			bm := &h.blocks[b]
+			if bm.freeCells == cells && bm.cached.Load() == 0 {
+				bm.class.Store(blockFree)
+				bm.freeHead = 0
+				bm.freeCells = 0
+				bm.inPartial = false
+				h.freeBlocks = append(h.freeBlocks, b)
+				reclaimed++
+			} else {
+				out = append(out, b)
+			}
+		}
+		h.partial[class] = out
+	}
+	return reclaimed
+}
+
+// FreeBlockCount reports how many unassigned blocks remain.
+func (h *Heap) FreeBlockCount() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.freeBlocks)
+}

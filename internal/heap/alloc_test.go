@@ -1,0 +1,536 @@
+package heap
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+func newTestHeap(t *testing.T, size int) *Heap {
+	t.Helper()
+	h, err := New(size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func TestNewRejectsTinyHeap(t *testing.T) {
+	if _, err := New(BlockSize); err == nil {
+		t.Fatal("New accepted a one-block heap")
+	}
+}
+
+func TestAllocBasics(t *testing.T) {
+	h := newTestHeap(t, 1<<20)
+	var c Cache
+	addr, err := h.Alloc(&c, 3, 0, White)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if addr == 0 || addr%Granule != 0 {
+		t.Fatalf("bad address %#x", addr)
+	}
+	if got := h.Color(addr); got != White {
+		t.Errorf("new object color = %v, want white", got)
+	}
+	if got := h.Slots(addr); got != 3 {
+		t.Errorf("slots = %d, want 3", got)
+	}
+	for i := 0; i < 3; i++ {
+		if v := h.LoadSlot(addr, i); v != 0 {
+			t.Errorf("slot %d = %#x, want nil", i, v)
+		}
+	}
+	// Header + 3 slots = 20 bytes -> 32-byte class.
+	if got := h.SizeOf(addr); got != 32 {
+		t.Errorf("SizeOf = %d, want 32", got)
+	}
+	if !h.ValidObject(addr) {
+		t.Error("ValidObject is false for a fresh object")
+	}
+	if h.AllocatedObjects() != 1 || h.AllocatedBytes() != 32 {
+		t.Errorf("accounting = (%d objects, %d bytes), want (1, 32)",
+			h.AllocatedObjects(), h.AllocatedBytes())
+	}
+}
+
+func TestAllocSlotStores(t *testing.T) {
+	h := newTestHeap(t, 1<<20)
+	var c Cache
+	a, _ := h.Alloc(&c, 2, 0, White)
+	b, _ := h.Alloc(&c, 0, 64, White)
+	h.StoreSlot(a, 0, b)
+	if got := h.LoadSlot(a, 0); got != b {
+		t.Errorf("slot round trip = %#x, want %#x", got, b)
+	}
+	if got := h.LoadSlot(a, 1); got != 0 {
+		t.Errorf("untouched slot = %#x, want 0", got)
+	}
+}
+
+func TestAllocZeroesRecycledSlots(t *testing.T) {
+	h := newTestHeap(t, 1<<20)
+	var c Cache
+	a, _ := h.Alloc(&c, 2, 0, White)
+	h.StoreSlot(a, 0, a)
+	h.StoreSlot(a, 1, a)
+	h.SetColor(a, Yellow) // pretend it's clear-colored garbage
+	h.FreeCell(a)
+	// The recycled cell must come back with zeroed slots.
+	b, _ := h.Alloc(&c, 2, 0, White)
+	if b != a {
+		// Cache order may differ; allocate until we get the cell back.
+		for i := 0; i < 1000 && b != a; i++ {
+			b, _ = h.Alloc(&c, 2, 0, White)
+		}
+	}
+	if b != a {
+		t.Skip("cell was not recycled in order; nothing to check")
+	}
+	if h.LoadSlot(b, 0) != 0 || h.LoadSlot(b, 1) != 0 {
+		t.Error("recycled cell has stale pointer slots")
+	}
+}
+
+func TestFreeCellAccounting(t *testing.T) {
+	h := newTestHeap(t, 1<<20)
+	var c Cache
+	addr, _ := h.Alloc(&c, 0, 48, White)
+	if got := h.FreeCell(addr); got != 48 {
+		t.Errorf("FreeCell returned %d bytes, want 48", got)
+	}
+	if h.Color(addr) != Blue {
+		t.Errorf("freed cell color = %v, want blue", h.Color(addr))
+	}
+	if h.AllocatedObjects() != 0 || h.AllocatedBytes() != 0 {
+		t.Errorf("accounting after free = (%d, %d), want zeros",
+			h.AllocatedObjects(), h.AllocatedBytes())
+	}
+	if err := h.CheckIntegrity(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFreeBatch(t *testing.T) {
+	h := newTestHeap(t, 1<<20)
+	var c Cache
+	var addrs []Addr
+	total := 0
+	for i := 0; i < 100; i++ {
+		a, err := h.Alloc(&c, 1, 32+i%64, White)
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs = append(addrs, a)
+		total += h.SizeOf(a)
+	}
+	if got := h.FreeBatch(addrs); got != total {
+		t.Errorf("FreeBatch freed %d bytes, want %d", got, total)
+	}
+	if h.AllocatedObjects() != 0 {
+		t.Errorf("objects after batch free = %d, want 0", h.AllocatedObjects())
+	}
+	if err := h.CheckIntegrity(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLargeObjects(t *testing.T) {
+	h := newTestHeap(t, 1<<20)
+	var c Cache
+	a, err := h.Alloc(&c, 4, 3*BlockSize, White)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a%BlockSize != 0 {
+		t.Errorf("large object not block aligned: %#x", a)
+	}
+	if got := h.SizeOf(a); got != 3*BlockSize {
+		t.Errorf("large SizeOf = %d, want %d", got, 3*BlockSize)
+	}
+	if !h.ValidObject(a) {
+		t.Error("large object not valid")
+	}
+	h.StoreSlot(a, 3, a)
+	if h.LoadSlot(a, 3) != a {
+		t.Error("large object slot store failed")
+	}
+	free := h.FreeBlockCount()
+	if got := h.FreeCell(a); got != 3*BlockSize {
+		t.Errorf("freeing large returned %d, want %d", got, 3*BlockSize)
+	}
+	if h.FreeBlockCount() != free+3 {
+		t.Errorf("blocks not returned: %d -> %d", free, h.FreeBlockCount())
+	}
+	if err := h.CheckIntegrity(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLargeObjectOOM(t *testing.T) {
+	h := newTestHeap(t, 16*BlockSize)
+	var c Cache
+	if _, err := h.Alloc(&c, 0, 64*BlockSize, White); !errors.Is(err, ErrOutOfMemory) {
+		t.Fatalf("oversized large alloc error = %v, want ErrOutOfMemory", err)
+	}
+}
+
+func TestSmallObjectOOMAndRecovery(t *testing.T) {
+	h := newTestHeap(t, 16*BlockSize)
+	var c Cache
+	var addrs []Addr
+	for {
+		a, err := h.Alloc(&c, 0, 2048, White)
+		if err != nil {
+			if !errors.Is(err, ErrOutOfMemory) {
+				t.Fatalf("unexpected error %v", err)
+			}
+			break
+		}
+		addrs = append(addrs, a)
+	}
+	if len(addrs) == 0 {
+		t.Fatal("no allocations succeeded")
+	}
+	// Free everything; allocation must work again.
+	for _, a := range addrs {
+		h.FreeCell(a)
+	}
+	if _, err := h.Alloc(&c, 0, 2048, White); err != nil {
+		t.Fatalf("allocation after free failed: %v", err)
+	}
+	if err := h.CheckIntegrity(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFlushReturnsCachedCells(t *testing.T) {
+	h := newTestHeap(t, 1<<20)
+	var c Cache
+	a, _ := h.Alloc(&c, 0, 16, White) // triggers a refill batch
+	h.FreeCell(a)
+	h.Flush(&c)
+	if err := h.CheckIntegrity(); err != nil {
+		t.Error(err)
+	}
+	h.ReclaimEmptyBlocks()
+	// After flush + reclaim the heap must be completely free again.
+	if got := h.FreeBlockCount(); got != h.NumBlocks()-1 {
+		t.Errorf("free blocks = %d, want %d", got, h.NumBlocks()-1)
+	}
+}
+
+func TestReclaimEmptyBlocksKeepsLiveBlocks(t *testing.T) {
+	h := newTestHeap(t, 1<<20)
+	var c Cache
+	live, _ := h.Alloc(&c, 0, 64, Black)
+	var dead []Addr
+	for i := 0; i < 200; i++ {
+		a, _ := h.Alloc(&c, 0, 64, Yellow)
+		dead = append(dead, a)
+	}
+	h.FreeBatch(dead)
+	h.Flush(&c)
+	h.ReclaimEmptyBlocks()
+	if !h.ValidObject(live) || h.Color(live) != Black {
+		t.Error("live object lost after reclaim")
+	}
+	if err := h.CheckIntegrity(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestForEachObjectInRange(t *testing.T) {
+	h := newTestHeap(t, 1<<20)
+	var c Cache
+	var addrs []Addr
+	for i := 0; i < 50; i++ {
+		a, _ := h.Alloc(&c, 0, 48, White)
+		addrs = append(addrs, a)
+	}
+	// Every object must be found exactly once when covering the heap.
+	found := map[Addr]int{}
+	h.ForEachObjectInRange(0, Addr(h.SizeBytes), func(a Addr) { found[a]++ })
+	for _, a := range addrs {
+		if found[a] != 1 {
+			t.Errorf("object %#x found %d times", a, found[a])
+		}
+	}
+	// A window covering exactly one object's start finds only objects
+	// starting in it.
+	target := addrs[20]
+	h.ForEachObjectInRange(target, target+16, func(a Addr) {
+		if a != target {
+			t.Errorf("range [%#x,%#x) returned %#x", target, target+16, a)
+		}
+	})
+	// An empty window (free block) finds nothing.
+	h.ForEachObjectInRange(Addr(h.SizeBytes-BlockSize), Addr(h.SizeBytes), func(a Addr) {
+		t.Errorf("free region returned object %#x", a)
+	})
+}
+
+func TestAllocatedRegions(t *testing.T) {
+	h := newTestHeap(t, 1<<20)
+	var c Cache
+	if _, err := h.Alloc(&c, 0, 64, White); err != nil {
+		t.Fatal(err)
+	}
+	var total int
+	h.AllocatedRegions(func(start, end Addr) {
+		if start >= end || start%BlockSize != 0 || end%BlockSize != 0 {
+			t.Errorf("bad region [%#x, %#x)", start, end)
+		}
+		total += int(end - start)
+	})
+	if total != BlockSize {
+		t.Errorf("allocated region bytes = %d, want one block", total)
+	}
+}
+
+func TestValidObjectRejectsJunk(t *testing.T) {
+	h := newTestHeap(t, 1<<20)
+	var c Cache
+	a, _ := h.Alloc(&c, 0, 48, White)
+	cases := []Addr{0, 1, a + 1, a + Granule, Addr(h.SizeBytes), Addr(h.SizeBytes + 64)}
+	for _, addr := range cases {
+		if h.ValidObject(addr) {
+			t.Errorf("ValidObject(%#x) = true, want false", addr)
+		}
+	}
+}
+
+func TestAllBlackHints(t *testing.T) {
+	h := newTestHeap(t, 1<<20)
+	b := 1
+	if h.AllBlackHint(b) {
+		t.Error("fresh block hinted all-black")
+	}
+	h.SetAllBlackHint(b, true)
+	if !h.AllBlackHint(b) {
+		t.Error("hint not set")
+	}
+	h.SetAllBlackHint(b, false)
+	if h.AllBlackHint(b) {
+		t.Error("hint not cleared")
+	}
+}
+
+func TestBlockQuiet(t *testing.T) {
+	h := newTestHeap(t, 1<<20)
+	var c Cache
+	a, _ := h.Alloc(&c, 0, 16, White)
+	b := int(a / BlockSize)
+	if h.BlockQuiet(b) {
+		t.Error("block with cached cells reported quiet")
+	}
+	// Exhaust the cache so every cell of the block is live.
+	for i := 0; i < CellsPerBlock(0)-1; i++ {
+		if _, err := h.Alloc(&c, 0, 16, White); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !h.BlockQuiet(b) {
+		t.Error("fully allocated block not quiet")
+	}
+}
+
+func TestAgeTable(t *testing.T) {
+	h := newTestHeap(t, 1<<20)
+	var c Cache
+	a, _ := h.Alloc(&c, 0, 32, White)
+	if h.Age(a) != 0 {
+		t.Errorf("fresh age = %d, want 0", h.Age(a))
+	}
+	h.SetAge(a, 7)
+	if h.Age(a) != 7 {
+		t.Errorf("age = %d, want 7", h.Age(a))
+	}
+	// Reallocation resets the age.
+	h.FreeCell(a)
+	b, _ := h.Alloc(&c, 0, 32, White)
+	for i := 0; b != a && i < 100; i++ {
+		b, _ = h.Alloc(&c, 0, 32, White)
+	}
+	if b == a && h.Age(a) != 0 {
+		t.Errorf("recycled age = %d, want 0", h.Age(a))
+	}
+}
+
+func TestColorTransitions(t *testing.T) {
+	h := newTestHeap(t, 1<<20)
+	var c Cache
+	a, _ := h.Alloc(&c, 0, 32, White)
+	if !h.CasColor(a, White, Gray) {
+		t.Fatal("CAS white->gray failed")
+	}
+	if h.CasColor(a, White, Black) {
+		t.Fatal("CAS from stale color succeeded")
+	}
+	h.SetColor(a, Black)
+	if h.Color(a) != Black {
+		t.Fatal("SetColor lost")
+	}
+}
+
+// TestConcurrentAllocFree hammers the allocator from several goroutines
+// while another frees, then audits the heap.
+func TestConcurrentAllocFree(t *testing.T) {
+	h := newTestHeap(t, 4<<20)
+	var wg sync.WaitGroup
+	freeCh := make(chan Addr, 1024)
+	done := make(chan struct{})
+	// Dedicated freer simulates the collector (the only freer).
+	go func() {
+		for a := range freeCh {
+			h.SetColor(a, Yellow)
+			h.FreeCell(a)
+		}
+		close(done)
+	}()
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			var c Cache
+			defer h.Flush(&c)
+			for i := 0; i < 5000; i++ {
+				a, err := h.Alloc(&c, rng.Intn(3), 16+rng.Intn(200), White)
+				if err != nil {
+					t.Errorf("alloc: %v", err)
+					return
+				}
+				freeCh <- a
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+	close(freeCh)
+	<-done
+	if err := h.CheckIntegrity(); err != nil {
+		t.Error(err)
+	}
+	if h.AllocatedObjects() != 0 {
+		t.Errorf("leaked %d objects", h.AllocatedObjects())
+	}
+}
+
+// TestAllocStressAllClasses allocates randomly across every size class
+// including large, frees half, and audits.
+func TestAllocStressAllClasses(t *testing.T) {
+	h := newTestHeap(t, 8<<20)
+	var c Cache
+	rng := rand.New(rand.NewSource(7))
+	var addrs []Addr
+	for i := 0; i < 3000; i++ {
+		size := 16 + rng.Intn(3000)
+		if rng.Intn(50) == 0 {
+			size = BlockSize * (1 + rng.Intn(3))
+		}
+		a, err := h.Alloc(&c, rng.Intn(4), size, White)
+		if err != nil {
+			t.Fatalf("alloc %d bytes: %v", size, err)
+		}
+		addrs = append(addrs, a)
+	}
+	for i, a := range addrs {
+		if i%2 == 0 {
+			h.SetColor(a, Yellow)
+			h.FreeCell(a)
+		}
+	}
+	if err := h.CheckIntegrity(); err != nil {
+		t.Error(err)
+	}
+	if got := int(h.AllocatedObjects()); got != len(addrs)/2 {
+		t.Errorf("allocated objects = %d, want %d", got, len(addrs)/2)
+	}
+	// The surviving half must still be valid.
+	for i, a := range addrs {
+		if i%2 == 1 && !h.ValidObject(a) {
+			t.Errorf("survivor %#x invalid", a)
+		}
+	}
+}
+
+func TestCountColor(t *testing.T) {
+	h := newTestHeap(t, 1<<20)
+	var c Cache
+	for i := 0; i < 5; i++ {
+		if _, err := h.Alloc(&c, 0, 32, Black); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := h.Alloc(&c, 0, 32, White); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := h.CountColor(Black); got != 5 {
+		t.Errorf("CountColor(black) = %d, want 5", got)
+	}
+	if got := h.CountColor(White); got != 3 {
+		t.Errorf("CountColor(white) = %d, want 3", got)
+	}
+}
+
+// TestRangePartitionProperty: splitting the address space into disjoint
+// windows must enumerate exactly the same objects as one full pass, for
+// random window sizes (the card-scan correctness property).
+func TestRangePartitionProperty(t *testing.T) {
+	h := newTestHeap(t, 1<<20)
+	var c Cache
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 500; i++ {
+		if _, err := h.Alloc(&c, rng.Intn(3), 16+rng.Intn(400), White); err != nil {
+			t.Fatal(err)
+		}
+	}
+	whole := map[Addr]bool{}
+	h.ForEachObjectInRange(0, Addr(h.SizeBytes), func(a Addr) { whole[a] = true })
+
+	for _, window := range []int{16, 48, 100, 4096, 10000} {
+		seen := map[Addr]bool{}
+		for start := 0; start < h.SizeBytes; start += window {
+			end := start + window
+			if end > h.SizeBytes {
+				end = h.SizeBytes
+			}
+			h.ForEachObjectInRange(Addr(start), Addr(end), func(a Addr) {
+				if seen[a] {
+					t.Fatalf("window %d: object %#x enumerated twice", window, a)
+				}
+				seen[a] = true
+			})
+		}
+		if len(seen) != len(whole) {
+			t.Fatalf("window %d: %d objects, whole pass found %d", window, len(seen), len(whole))
+		}
+	}
+}
+
+// TestAllocBlueLeavesBlue: AllocBlue publishes metadata but not a color.
+func TestAllocBlueLeavesBlue(t *testing.T) {
+	h := newTestHeap(t, 1<<20)
+	var c Cache
+	a, err := h.AllocBlue(&c, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Color(a) != Blue {
+		t.Fatalf("AllocBlue color = %v", h.Color(a))
+	}
+	if h.Slots(a) != 2 {
+		t.Fatalf("slots = %d", h.Slots(a))
+	}
+	if h.AllocatedObjects() != 1 {
+		t.Fatalf("accounting = %d", h.AllocatedObjects())
+	}
+	h.SetColor(a, White)
+	if !h.ValidObject(a) {
+		t.Fatal("colored cell not valid")
+	}
+}

@@ -1,0 +1,262 @@
+// Package heap implements the non-moving, block-structured heap that the
+// on-the-fly collector of Domani, Kolodner and Petrank (PLDI 2000) runs
+// against. It is the stand-in for the prototype JVM heap of the paper:
+// a byte-addressed space carved into 4 KB blocks, each block dedicated to
+// one size class, with per-object colors and ages in side tables and a
+// free-cell discipline based on the blue color.
+//
+// Addresses are plain byte offsets (Addr). Address 0 is never allocated
+// and serves as the nil reference. Objects never move; promotion between
+// generations is purely logical (a color), exactly as in the paper.
+package heap
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Addr is a heap address: a byte offset from the heap base. 0 is nil.
+type Addr = uint32
+
+const (
+	// Granule is the allocation granularity and minimum cell size in
+	// bytes. With 16-byte cards ("object marking") every card covers
+	// exactly one granule.
+	Granule = 16
+
+	// BlockSize is the unit the heap hands to size classes, and the
+	// "block marking" card size of §8.5.1.
+	BlockSize = 4096
+
+	// HeaderBytes is the simulated object header: the first two words
+	// of every cell, corresponding to the class pointer and hash/lock
+	// word of the paper's JVM objects. Pointer slots follow it.
+	HeaderBytes = 8
+
+	// WordBytes is the size of one pointer slot.
+	WordBytes = 4
+)
+
+// MaxSlots returns the number of pointer slots that fit in a cell of
+// size bytes.
+func MaxSlots(size int) int { return (size - HeaderBytes) / WordBytes }
+
+// Block classes in blockMeta.class beyond the small size classes.
+const (
+	blockFree      int32 = -1 // not assigned to any class
+	blockLargeHead int32 = -2 // first block of a large object
+	blockLargeCont int32 = -3 // continuation block of a large object
+)
+
+type blockMeta struct {
+	// class is the size-class index, or one of the block* sentinels.
+	// Written under the heap mutex; read without it by the collector's
+	// iteration paths, hence atomic.
+	class atomic.Int32
+
+	// nBlocks is the number of blocks of a large object (head only).
+	nBlocks uint32
+
+	// freeHead is the address of the first free cell of this block;
+	// free cells are threaded through their first word. Guarded by the
+	// heap mutex.
+	freeHead Addr
+
+	// freeCells is the length of the freeHead list. Guarded by the
+	// heap mutex.
+	freeCells int32
+
+	// inPartial records whether the block is on its class's partial
+	// list. Guarded by the heap mutex.
+	inPartial bool
+
+	// cached counts cells of this block currently sitting in some
+	// mutator's allocation cache.
+	cached atomic.Int32
+
+	// allBlack hints that every cell of the block is an allocated
+	// black (old) object and the block has no free or cached cells.
+	// Such a block cannot produce clear-colored cells before the next
+	// full collection, so partial sweeps skip it — the reason the
+	// paper's partial collections touch only young-generation pages
+	// (Figure 15). Written by the collector only.
+	allBlack atomic.Bool
+}
+
+// Heap is the shared address space. All mutator-visible operations
+// (reading and writing pointer slots, colors) use atomic accesses: the
+// paper relies on the hardware's per-byte store atomicity, which Go does
+// not expose, so the side tables use 32-bit atomics instead — a strictly
+// stronger substitute (see DESIGN.md).
+type Heap struct {
+	// SizeBytes is the total heap size.
+	SizeBytes int
+
+	nBlocks int
+	nGran   int
+
+	// mem holds the object bodies: header words and pointer slots.
+	mem []uint32
+
+	// colors is the color side table, one entry per granule (only the
+	// entry of an object's first granule is meaningful).
+	colors []uint32
+
+	// slotsOf records the number of pointer slots of the object whose
+	// cell starts at the granule; written at allocation before the
+	// color is published.
+	slotsOf []uint32
+
+	// ages is the age side table of §6, one byte per granule.
+	ages []uint8
+
+	// sizeOf records the allocation size class is not enough for:
+	// large objects store their byte size here (head granule).
+	largeSize []uint32
+
+	blocks []blockMeta
+
+	mu         sync.Mutex
+	freeBlocks []uint32             // indices of unassigned blocks
+	partial    [NumClasses][]uint32 // blocks of a class with free cells
+
+	// Accounting (atomic).
+	allocatedBytes   atomic.Int64
+	allocatedObjects atomic.Int64
+	liveBytesGuess   atomic.Int64
+
+	// Touch instrumentation for the Figure 15 experiment; nil unless
+	// page tracking is enabled.
+	Pages *PageSet
+}
+
+// ErrOutOfMemory is returned when no block can satisfy an allocation.
+// Callers (the runtime's allocation slow path) react by requesting a
+// full collection and retrying.
+var ErrOutOfMemory = errors.New("heap: out of memory")
+
+// New creates a heap of the given size. Size is rounded up to a whole
+// number of blocks; block 0 is reserved so that address 0 means nil.
+func New(sizeBytes int) (*Heap, error) {
+	if sizeBytes < 2*BlockSize {
+		return nil, fmt.Errorf("heap: size %d too small (min %d)", sizeBytes, 2*BlockSize)
+	}
+	nBlocks := (sizeBytes + BlockSize - 1) / BlockSize
+	sizeBytes = nBlocks * BlockSize
+	h := &Heap{
+		SizeBytes: sizeBytes,
+		nBlocks:   nBlocks,
+		nGran:     sizeBytes / Granule,
+		mem:       make([]uint32, sizeBytes/WordBytes),
+		colors:    make([]uint32, sizeBytes/Granule),
+		slotsOf:   make([]uint32, sizeBytes/Granule),
+		ages:      make([]uint8, sizeBytes/Granule),
+		largeSize: make([]uint32, sizeBytes/Granule),
+		blocks:    make([]blockMeta, nBlocks),
+	}
+	for i := range h.blocks {
+		h.blocks[i].class.Store(blockFree)
+	}
+	// Block 0 reserved: nil must never be a valid object address.
+	for i := nBlocks - 1; i >= 1; i-- {
+		h.freeBlocks = append(h.freeBlocks, uint32(i))
+	}
+	return h, nil
+}
+
+// NumBlocks returns the number of blocks in the heap (including the
+// reserved block 0).
+func (h *Heap) NumBlocks() int { return h.nBlocks }
+
+// NumGranules returns the number of granules in the heap.
+func (h *Heap) NumGranules() int { return h.nGran }
+
+// AllocatedBytes returns the bytes currently allocated (live plus not yet
+// collected garbage); it drives the full-collection trigger.
+func (h *Heap) AllocatedBytes() int64 { return h.allocatedBytes.Load() }
+
+// AllocatedObjects returns the number of currently allocated objects.
+func (h *Heap) AllocatedObjects() int64 { return h.allocatedObjects.Load() }
+
+// Slots returns the number of pointer slots of the object at addr.
+func (h *Heap) Slots(addr Addr) int {
+	return int(atomic.LoadUint32(&h.slotsOf[addr/Granule]))
+}
+
+// SizeOf returns the cell size in bytes of the object at addr.
+func (h *Heap) SizeOf(addr Addr) int {
+	b := addr / BlockSize
+	switch c := h.blocks[b].class.Load(); c {
+	case blockLargeHead:
+		return int(atomic.LoadUint32(&h.largeSize[addr/Granule]))
+	case blockFree, blockLargeCont:
+		return 0
+	default:
+		return classSizes[c]
+	}
+}
+
+// slotIndex returns the index in mem of pointer slot i of the object at
+// addr. It does no bounds checking against the object's slot count; the
+// public accessors do.
+func slotIndex(addr Addr, i int) int {
+	return int(addr)/WordBytes + HeaderBytes/WordBytes + i
+}
+
+// LoadSlot reads pointer slot i of the object at addr.
+func (h *Heap) LoadSlot(addr Addr, i int) Addr {
+	return atomic.LoadUint32(&h.mem[slotIndex(addr, i)])
+}
+
+// StoreSlot writes pointer slot i of the object at addr. The write
+// barrier lives above this in the gc package; StoreSlot is the raw
+// "heap[x,i] <- y" of Figure 1.
+func (h *Heap) StoreSlot(addr Addr, i int, v Addr) {
+	atomic.StoreUint32(&h.mem[slotIndex(addr, i)], v)
+}
+
+// AllBlackHint reports whether block b was found to be entirely old
+// (black, fully allocated) by a previous sweep.
+func (h *Heap) AllBlackHint(b int) bool { return h.blocks[b].allBlack.Load() }
+
+// SetAllBlackHint records or clears the all-black hint for block b.
+func (h *Heap) SetAllBlackHint(b int, v bool) { h.blocks[b].allBlack.Store(v) }
+
+// BlockQuiet reports whether block b currently has neither free cells
+// nor cells parked in allocation caches — together with an all-black
+// scan this certifies the block cannot change before the next full
+// collection.
+func (h *Heap) BlockQuiet(b int) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	bm := &h.blocks[b]
+	return bm.class.Load() >= 0 && bm.freeCells == 0 && bm.cached.Load() == 0
+}
+
+// BlockClass reports the size-class of the block containing addr:
+// class index for small-object blocks, -1 for free blocks, -2/-3 for
+// large-object blocks.
+func (h *Heap) BlockClass(b int) int { return int(h.blocks[b].class.Load()) }
+
+// ValidObject reports whether addr is the start of a currently allocated
+// (non-blue) object. Used by the verifier and tests only.
+func (h *Heap) ValidObject(addr Addr) bool {
+	if addr == 0 || int(addr) >= h.SizeBytes || addr%Granule != 0 {
+		return false
+	}
+	b := int(addr / BlockSize)
+	switch c := h.blocks[b].class.Load(); c {
+	case blockFree, blockLargeCont:
+		return false
+	case blockLargeHead:
+		return addr%BlockSize == 0 && h.Color(addr) != Blue
+	default:
+		off := int(addr % BlockSize)
+		if off%classSizes[c] != 0 {
+			return false
+		}
+		return h.Color(addr) != Blue
+	}
+}

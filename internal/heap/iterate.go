@@ -1,0 +1,127 @@
+package heap
+
+import "sync/atomic"
+
+// ForEachObject calls fn for every currently allocated (non-blue) object
+// start address, in address order. The collector's sweep is built on it.
+// Objects allocated concurrently may or may not be visited; objects
+// freed by fn itself are not revisited.
+func (h *Heap) ForEachObject(fn func(addr Addr)) {
+	for b := 1; b < h.nBlocks; b++ {
+		h.ForEachObjectInBlock(b, fn)
+	}
+}
+
+// ForEachObjectInBlock calls fn for every allocated object whose cell
+// starts in block b.
+func (h *Heap) ForEachObjectInBlock(b int, fn func(addr Addr)) {
+	bm := &h.blocks[b]
+	class := bm.class.Load()
+	switch class {
+	case blockFree, blockLargeCont:
+		return
+	case blockLargeHead:
+		addr := Addr(b) * BlockSize
+		if h.Color(addr) != Blue {
+			fn(addr)
+		}
+	default:
+		cell := classSizes[class]
+		base := Addr(b) * BlockSize
+		for off := 0; off+cell <= BlockSize; off += cell {
+			addr := base + Addr(off)
+			if h.Color(addr) != Blue {
+				fn(addr)
+			}
+		}
+	}
+}
+
+// ForEachObjectInRange calls fn for every allocated object whose cell
+// starts in [start, end). This is the card-scanning primitive: a card's
+// byte range is mapped to the objects that begin on it.
+func (h *Heap) ForEachObjectInRange(start, end Addr, fn func(addr Addr)) {
+	if end > Addr(h.SizeBytes) {
+		end = Addr(h.SizeBytes)
+	}
+	b := int(start / BlockSize)
+	for b < h.nBlocks && Addr(b)*BlockSize < end {
+		bm := &h.blocks[b]
+		class := bm.class.Load()
+		blockBase := Addr(b) * BlockSize
+		switch class {
+		case blockFree, blockLargeCont:
+			// nothing on this block
+		case blockLargeHead:
+			if blockBase >= start && blockBase < end && h.Color(blockBase) != Blue {
+				fn(blockBase)
+			}
+		default:
+			cell := Addr(classSizes[class])
+			first := Addr(0)
+			if start > blockBase {
+				first = ((start - blockBase) + cell - 1) / cell * cell
+			}
+			for off := first; off+cell <= BlockSize && blockBase+off < end; off += cell {
+				addr := blockBase + off
+				if h.Color(addr) != Blue {
+					fn(addr)
+				}
+			}
+		}
+		b++
+	}
+}
+
+// AllocatedRegions calls fn(start, end) for every maximal run of blocks
+// currently assigned to some class (small or large). Used to compute the
+// "allocated cards" denominator of the Figure 22 dirty-card percentages.
+func (h *Heap) AllocatedRegions(fn func(start, end Addr)) {
+	runStart := -1
+	for b := 1; b <= h.nBlocks; b++ {
+		assigned := b < h.nBlocks && h.blocks[b].class.Load() != blockFree
+		if assigned && runStart < 0 {
+			runStart = b
+		}
+		if !assigned && runStart >= 0 {
+			fn(Addr(runStart)*BlockSize, Addr(b)*BlockSize)
+			runStart = -1
+		}
+	}
+}
+
+// FreeBatch frees a batch of dead cells under a single lock acquisition.
+// Large objects in the batch are freed individually. It returns the total
+// bytes freed.
+func (h *Heap) FreeBatch(addrs []Addr) int {
+	total := 0
+	var larges []Addr
+	h.mu.Lock()
+	for _, addr := range addrs {
+		b := addr / BlockSize
+		bm := &h.blocks[b]
+		class := bm.class.Load()
+		if class == blockLargeHead {
+			larges = append(larges, addr)
+			continue
+		}
+		size := classSizes[class]
+		h.SetColor(addr, Blue)
+		atomic.StoreUint32(&h.mem[addr/WordBytes], bm.freeHead)
+		bm.freeHead = addr
+		bm.freeCells++
+		if !bm.inPartial {
+			h.partial[class] = append(h.partial[class], b)
+			bm.inPartial = true
+		}
+		total += size
+	}
+	n := int64(len(addrs) - len(larges))
+	h.mu.Unlock()
+	h.allocatedBytes.Add(-int64(total))
+	h.allocatedObjects.Add(-n)
+	for _, addr := range larges {
+		total += h.freeLarge(addr)
+	}
+	return total
+}

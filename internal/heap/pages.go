@@ -1,0 +1,128 @@
+package heap
+
+// PageBytes is the virtual-memory page size used for the Figure 15
+// "pages touched by the collector" measurements.
+const PageBytes = 4096
+
+// PageSet records which pages the collector touches during one
+// collection cycle. It covers the heap itself plus the side tables the
+// collector reads and writes (color table, age table, card table),
+// mirroring the paper's note that the measurement includes "all the
+// tables the collector uses (such as the card table)".
+//
+// Only the collector thread writes a PageSet, so it needs no locking.
+// The regions are laid out as consecutive page ranges:
+//
+//	[0, heapPages)                         heap data
+//	[heapPages, +colorPages)               color table (2 bits per granule,
+//	                                       the paper's packed layout; our
+//	                                       in-memory table is wider, but the
+//	                                       page model charges the layout the
+//	                                       paper's collector would touch)
+//	[.., +agePages)                        age table (1 B per granule)
+//	[.., +cardPages)                       card table (1 B per card)
+type PageSet struct {
+	heapPages  int
+	colorPages int
+	agePages   int
+	cardPages  int
+	touched    []bool
+	count      int
+
+	// CostSpins, when positive, charges the collector a busy-spin of
+	// this many iterations for every page first touched in a cycle.
+	// It models the memory-hierarchy cost (faults, TLB and cache
+	// misses over a cold page) that dominated collection time on the
+	// paper's 1999 hardware — the paper's Figure 15 shows pages
+	// touched, and its timing figures scale with them. Without this
+	// cost a modern simulator's side tables are too cache-friendly
+	// for the locality benefit of generations to be visible.
+	CostSpins int
+	sink      uint64
+}
+
+// NewPageSet builds a page tracker for a heap of heapBytes with a card
+// table of nCards one-byte entries.
+func NewPageSet(heapBytes, nCards int) *PageSet {
+	p := &PageSet{
+		heapPages:  pages(heapBytes),
+		colorPages: pages(heapBytes / Granule / 4),
+		agePages:   pages(heapBytes / Granule),
+		cardPages:  pages(nCards),
+	}
+	p.touched = make([]bool, p.heapPages+p.colorPages+p.agePages+p.cardPages)
+	return p
+}
+
+func pages(bytes int) int { return (bytes + PageBytes - 1) / PageBytes }
+
+func (p *PageSet) mark(page int) {
+	if !p.touched[page] {
+		p.touched[page] = true
+		p.count++
+		if p.CostSpins > 0 {
+			s := p.sink
+			for i := 0; i < p.CostSpins; i++ {
+				s = s*6364136223846793005 + 1442695040888963407
+			}
+			p.sink = s
+		}
+	}
+}
+
+// TouchHeap records that the collector touched heap bytes [addr,
+// addr+size).
+func (p *PageSet) TouchHeap(addr Addr, size int) {
+	if p == nil {
+		return
+	}
+	first := int(addr) / PageBytes
+	last := (int(addr) + size - 1) / PageBytes
+	for pg := first; pg <= last; pg++ {
+		p.mark(pg)
+	}
+}
+
+// TouchColor records an access to the color-table entry of addr.
+func (p *PageSet) TouchColor(addr Addr) {
+	if p == nil {
+		return
+	}
+	p.mark(p.heapPages + int(addr/Granule/4)/PageBytes)
+}
+
+// TouchAge records an access to the age-table entry of addr.
+func (p *PageSet) TouchAge(addr Addr) {
+	if p == nil {
+		return
+	}
+	p.mark(p.heapPages + p.colorPages + int(addr/Granule)/PageBytes)
+}
+
+// TouchCardByte records an access to card index ci of the card table.
+func (p *PageSet) TouchCardByte(ci int) {
+	if p == nil {
+		return
+	}
+	p.mark(p.heapPages + p.colorPages + p.agePages + ci/PageBytes)
+}
+
+// Count returns the number of distinct pages touched since the last
+// Reset.
+func (p *PageSet) Count() int {
+	if p == nil {
+		return 0
+	}
+	return p.count
+}
+
+// Reset clears the set for the next collection cycle.
+func (p *PageSet) Reset() {
+	if p == nil {
+		return
+	}
+	for i := range p.touched {
+		p.touched[i] = false
+	}
+	p.count = 0
+}

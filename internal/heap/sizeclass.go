@@ -1,0 +1,53 @@
+package heap
+
+// Size classes for the segregated-fit, non-moving allocator. Every cell
+// size is a multiple of the granule so that object starts are granule
+// aligned and the color table can be indexed by granule. Objects larger
+// than the biggest class are carved from whole blocks ("large" objects).
+//
+// The class list trades internal fragmentation (at most ~33%) against the
+// number of per-mutator allocation caches.
+var classSizes = [...]int{16, 32, 48, 64, 96, 128, 192, 256, 384, 512, 768, 1024, 2048}
+
+// NumClasses is the number of small-object size classes.
+const NumClasses = len(classSizes)
+
+// MaxSmall is the largest cell size handled by the size classes. Requests
+// above it become large objects occupying whole blocks.
+const MaxSmall = 2048
+
+// classIndex maps a rounded-up request size in granules to a class index.
+// Indexed by size/Granule for sizes up to MaxSmall.
+var classIndex [MaxSmall/Granule + 1]int8
+
+func init() {
+	c := 0
+	for g := 1; g <= MaxSmall/Granule; g++ {
+		size := g * Granule
+		for classSizes[c] < size {
+			c++
+		}
+		classIndex[g] = int8(c)
+	}
+}
+
+// ClassFor returns the size-class index and cell size for a request of
+// size bytes, or (-1, rounded) when the request must be a large object.
+// Requests smaller than one granule are rounded up to one granule.
+func ClassFor(size int) (class int, cellSize int) {
+	if size <= 0 {
+		size = 1
+	}
+	g := (size + Granule - 1) / Granule
+	if g*Granule > MaxSmall {
+		return -1, g * Granule
+	}
+	c := int(classIndex[g])
+	return c, classSizes[c]
+}
+
+// ClassSize returns the cell size in bytes of class c.
+func ClassSize(c int) int { return classSizes[c] }
+
+// CellsPerBlock returns how many cells of class c fit in one block.
+func CellsPerBlock(c int) int { return BlockSize / classSizes[c] }

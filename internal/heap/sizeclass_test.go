@@ -1,0 +1,100 @@
+package heap
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestClassForBasics(t *testing.T) {
+	cases := []struct {
+		size      int
+		wantClass int
+		wantCell  int
+	}{
+		{0, 0, 16},
+		{1, 0, 16},
+		{16, 0, 16},
+		{17, 1, 32},
+		{32, 1, 32},
+		{33, 2, 48},
+		{48, 2, 48},
+		{64, 3, 64},
+		{65, 4, 96},
+		{100, 5, 128},
+		{2048, NumClasses - 1, 2048},
+	}
+	for _, c := range cases {
+		class, cell := ClassFor(c.size)
+		if class != c.wantClass || cell != c.wantCell {
+			t.Errorf("ClassFor(%d) = (%d, %d), want (%d, %d)",
+				c.size, class, cell, c.wantClass, c.wantCell)
+		}
+	}
+}
+
+func TestClassForLarge(t *testing.T) {
+	for _, size := range []int{2049, 4096, 5000, 100000} {
+		class, cell := ClassFor(size)
+		if class != -1 {
+			t.Errorf("ClassFor(%d) class = %d, want -1 (large)", size, class)
+		}
+		if cell < size || cell%Granule != 0 {
+			t.Errorf("ClassFor(%d) rounded = %d, want granule multiple >= size", size, cell)
+		}
+	}
+}
+
+// TestClassForProperties checks the size-class invariants over random
+// request sizes: the returned cell fits the request, is one of the
+// declared class sizes, and no smaller class would fit.
+func TestClassForProperties(t *testing.T) {
+	prop := func(raw uint16) bool {
+		size := int(raw)%MaxSmall + 1
+		class, cell := ClassFor(size)
+		if class < 0 || class >= NumClasses {
+			return false
+		}
+		if cell != classSizes[class] || cell < size {
+			return false
+		}
+		// Tightness: the previous class (if any) must be too small.
+		if class > 0 && classSizes[class-1] >= size {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestClassSizesAreGranuleMultiples(t *testing.T) {
+	prev := 0
+	for c, size := range classSizes {
+		if size%Granule != 0 {
+			t.Errorf("class %d size %d not a granule multiple", c, size)
+		}
+		if size <= prev {
+			t.Errorf("class sizes not strictly increasing at %d", c)
+		}
+		if CellsPerBlock(c) < 1 {
+			t.Errorf("class %d does not fit in a block", c)
+		}
+		if ClassSize(c) != size {
+			t.Errorf("ClassSize(%d) = %d, want %d", c, ClassSize(c), size)
+		}
+		prev = size
+	}
+	if classSizes[NumClasses-1] != MaxSmall {
+		t.Errorf("largest class %d != MaxSmall %d", classSizes[NumClasses-1], MaxSmall)
+	}
+}
+
+func TestMaxSlots(t *testing.T) {
+	if got := MaxSlots(16); got != 2 {
+		t.Errorf("MaxSlots(16) = %d, want 2", got)
+	}
+	if got := MaxSlots(48); got != 10 {
+		t.Errorf("MaxSlots(48) = %d, want 10", got)
+	}
+}

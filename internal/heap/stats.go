@@ -1,0 +1,90 @@
+package heap
+
+// Stats is a point-in-time census of the heap's block and object
+// population, for diagnostics (cmd/gctrace) and fragmentation analysis.
+// Taking a census walks every block; objects allocated or freed
+// concurrently may be counted or missed, so treat the numbers as a
+// snapshot, exact only at quiescent points.
+type Stats struct {
+	// Blocks by disposition.
+	FreeBlocks  int
+	ClassBlocks int
+	LargeBlocks int
+
+	// Object census.
+	Objects      int
+	ObjectBytes  int
+	FreeCells    int // blue cells inside assigned blocks
+	FreeCellByte int
+
+	// PerClass[i] describes size class i.
+	PerClass [NumClasses]ClassStats
+
+	// ColorCounts indexes by Color (Blue..Black); Blue counts free
+	// cells in assigned blocks.
+	ColorCounts [5]int
+}
+
+// ClassStats is the census of one size class.
+type ClassStats struct {
+	CellSize  int
+	Blocks    int
+	Live      int
+	FreeCells int
+}
+
+// Utilization reports live bytes as a fraction of bytes in assigned
+// blocks (1 = no internal fragmentation or free cells at all).
+func (s Stats) Utilization() float64 {
+	assigned := (s.ClassBlocks + s.LargeBlocks) * BlockSize
+	if assigned == 0 {
+		return 0
+	}
+	return float64(s.ObjectBytes) / float64(assigned)
+}
+
+// Census walks the heap and returns its population snapshot.
+func (h *Heap) Census() Stats {
+	var s Stats
+	for c := 0; c < NumClasses; c++ {
+		s.PerClass[c].CellSize = classSizes[c]
+	}
+	for b := 1; b < h.nBlocks; b++ {
+		class := h.blocks[b].class.Load()
+		switch class {
+		case blockFree:
+			s.FreeBlocks++
+		case blockLargeCont:
+			s.LargeBlocks++
+		case blockLargeHead:
+			s.LargeBlocks++
+			addr := Addr(b) * BlockSize
+			if col := h.Color(addr); col != Blue {
+				size := h.SizeOf(addr)
+				s.Objects++
+				s.ObjectBytes += size
+				s.ColorCounts[col]++
+			}
+		default:
+			s.ClassBlocks++
+			cs := &s.PerClass[class]
+			cs.Blocks++
+			cell := classSizes[class]
+			base := Addr(b) * BlockSize
+			for off := 0; off+cell <= BlockSize; off += cell {
+				col := h.Color(base + Addr(off))
+				s.ColorCounts[col]++
+				if col == Blue {
+					cs.FreeCells++
+					s.FreeCells++
+					s.FreeCellByte += cell
+				} else {
+					cs.Live++
+					s.Objects++
+					s.ObjectBytes += cell
+				}
+			}
+		}
+	}
+	return s
+}

@@ -1,0 +1,103 @@
+package heap
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// CheckIntegrity audits the allocator's bookkeeping: block metadata,
+// free-list structure and the blue-color discipline. It is meant for
+// tests and the stress tool, with no mutators running concurrently.
+func (h *Heap) CheckIntegrity() error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	seenFree := make(map[uint32]bool, len(h.freeBlocks))
+	for _, b := range h.freeBlocks {
+		if int(b) <= 0 || int(b) >= h.nBlocks {
+			return fmt.Errorf("heap: free block index %d out of range", b)
+		}
+		if seenFree[b] {
+			return fmt.Errorf("heap: block %d appears twice in the free pool", b)
+		}
+		seenFree[b] = true
+		if h.blocks[b].class.Load() != blockFree {
+			return fmt.Errorf("heap: block %d in free pool but has class %d", b, h.blocks[b].class.Load())
+		}
+	}
+	for b := 1; b < h.nBlocks; b++ {
+		bm := &h.blocks[b]
+		switch bm.class.Load() {
+		case blockFree:
+			if !seenFree[uint32(b)] {
+				return fmt.Errorf("heap: block %d marked free but not in free pool", b)
+			}
+		case blockLargeHead:
+			n := int(bm.nBlocks)
+			if n < 1 || b+n > h.nBlocks {
+				return fmt.Errorf("heap: large object at block %d spans %d blocks out of range", b, n)
+			}
+			for i := 1; i < n; i++ {
+				if h.blocks[b+i].class.Load() != blockLargeCont {
+					return fmt.Errorf("heap: block %d should continue large object at %d", b+i, b)
+				}
+			}
+		case blockLargeCont:
+			// validated via its head
+		default:
+			if bm.class.Load() < 0 || int(bm.class.Load()) >= NumClasses {
+				return fmt.Errorf("heap: block %d has invalid class %d", b, bm.class.Load())
+			}
+			if err := h.checkBlockFreeList(b, bm); err != nil {
+				return err
+			}
+		}
+	}
+	if h.allocatedBytes.Load() < 0 || h.allocatedObjects.Load() < 0 {
+		return fmt.Errorf("heap: negative accounting: %d bytes, %d objects",
+			h.allocatedBytes.Load(), h.allocatedObjects.Load())
+	}
+	return nil
+}
+
+// checkBlockFreeList walks one block's free list. Caller holds h.mu.
+func (h *Heap) checkBlockFreeList(b int, bm *blockMeta) error {
+	class := int(bm.class.Load())
+	cell := classSizes[class]
+	count := int32(0)
+	limit := int32(CellsPerBlock(class))
+	for addr := bm.freeHead; addr != 0; {
+		if int(addr)/BlockSize != b {
+			return fmt.Errorf("heap: block %d free list escapes to address %#x", b, addr)
+		}
+		if int(addr)%BlockSize%cell != 0 {
+			return fmt.Errorf("heap: block %d free list has misaligned cell %#x", b, addr)
+		}
+		if h.Color(addr) != Blue {
+			return fmt.Errorf("heap: free cell %#x has color %v, want blue", addr, h.Color(addr))
+		}
+		count++
+		if count > limit {
+			return fmt.Errorf("heap: block %d free list longer than %d cells (cycle?)", b, limit)
+		}
+		addr = atomic.LoadUint32(&h.mem[addr/WordBytes])
+	}
+	if count != bm.freeCells {
+		return fmt.Errorf("heap: block %d free count %d, list length %d", b, bm.freeCells, count)
+	}
+	if bm.cached.Load() < 0 {
+		return fmt.Errorf("heap: block %d negative cached count %d", b, bm.cached.Load())
+	}
+	return nil
+}
+
+// CountColor returns how many allocated objects currently have color c;
+// test helper.
+func (h *Heap) CountColor(c Color) int {
+	n := 0
+	h.ForEachObject(func(addr Addr) {
+		if h.Color(addr) == c {
+			n++
+		}
+	})
+	return n
+}

@@ -1,0 +1,223 @@
+// Package metrics collects the measurements the paper reports in
+// Figures 10–15 and 22–23: per-collection-cycle work counters, freed
+// object and byte counts, dirty-card statistics, pages touched, and the
+// share of wall time the collector is active.
+package metrics
+
+import (
+	"sync"
+	"time"
+)
+
+// CycleKind distinguishes the collection types of §3.
+type CycleKind int
+
+const (
+	// Partial is a collection of the young generation only.
+	Partial CycleKind = iota
+	// Full is a collection of the entire heap.
+	Full
+)
+
+func (k CycleKind) String() string {
+	if k == Partial {
+		return "partial"
+	}
+	return "full"
+}
+
+// Cycle is the record of one collection cycle.
+type Cycle struct {
+	Kind     CycleKind
+	Seq      int           // cycle number, from 1
+	Duration time.Duration // clear-to-sweep-end elapsed time
+
+	// HandshakeTime is the span from posting the first handshake to
+	// completing the third — the sync1/sync2 window during which the
+	// write barrier also shades allocation-colored objects (§7.1).
+	HandshakeTime time.Duration
+
+	// Trace work.
+	ObjectsScanned int // objects blackened by the trace
+	SlotsScanned   int // pointer slots examined by the trace
+
+	// Inter-generational pointer maintenance (ClearCards).
+	InterGenScanned int // objects examined on dirty cards
+	DirtyCards      int // dirty cards found at cycle start
+	AllocatedCards  int // cards overlapping allocated blocks (denominator)
+	CardsScanned    int // cards examined (the whole table is walked)
+	AreaScanned     int // bytes of objects examined on dirty cards
+
+	// Sweep results.
+	ObjectsFreed int
+	BytesFreed   int
+	Survivors    int // objects subject to this collection that survived it
+
+	// Pages touched by the collector during the cycle (Figure 15);
+	// zero when page tracking is off.
+	PagesTouched int
+}
+
+// Recorder accumulates cycle records and aggregate statistics. The
+// collector goroutine is the only writer; readers take the mutex.
+type Recorder struct {
+	mu     sync.Mutex
+	start  time.Time
+	cycles []Cycle
+	gcTime time.Duration
+}
+
+// NewRecorder starts a recorder; the start time anchors the
+// "percent time GC active" computation.
+func NewRecorder() *Recorder {
+	return &Recorder{start: time.Now()}
+}
+
+// Record appends one finished cycle.
+func (r *Recorder) Record(c Cycle) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c.Seq = len(r.cycles) + 1
+	r.cycles = append(r.cycles, c)
+	r.gcTime += c.Duration
+}
+
+// Cycles returns a copy of all recorded cycles.
+func (r *Recorder) Cycles() []Cycle {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Cycle, len(r.cycles))
+	copy(out, r.cycles)
+	return out
+}
+
+// Summary condenses a run into the aggregates the paper tabulates.
+type Summary struct {
+	Elapsed        time.Duration
+	GCActive       time.Duration
+	GCActivePct    float64 // Figure 10, column 1
+	NumPartial     int     // Figure 10
+	NumFull        int     // Figure 10
+	NumCycles      int
+	ObjectsFreed   int64
+	BytesFreed     int64
+	ObjectsScanned int64
+
+	// Per-kind averages (Figures 11–15, 22–23). Zero when the kind
+	// never ran.
+	AvgInterGenScanned   float64 // old objects scanned for inter-gen ptrs
+	AvgScannedPartial    float64
+	AvgScannedFull       float64
+	AvgFreedObjsPartial  float64
+	AvgFreedObjsFull     float64
+	AvgFreedBytesPartial float64
+	AvgFreedBytesFull    float64
+	AvgTimePartial       time.Duration
+	AvgTimeFull          time.Duration
+	AvgPagesPartial      float64
+	AvgPagesFull         float64
+	PctObjsFreedPartial  float64 // freed / (freed + survivors) in partials
+	PctObjsFreedFull     float64
+	PctBytesFreedPartial float64
+	AvgDirtyCardPct      float64 // Figure 22 (partials only)
+	AvgAreaScanned       float64 // Figure 23 (partials only)
+}
+
+// Summarize computes the aggregates at the end of a run. elapsed is the
+// run's wall time (from the recorder's start when zero).
+func (r *Recorder) Summarize(elapsed time.Duration) Summary {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if elapsed == 0 {
+		elapsed = time.Since(r.start)
+	}
+	s := Summary{Elapsed: elapsed, GCActive: r.gcTime, NumCycles: len(r.cycles)}
+	if elapsed > 0 {
+		s.GCActivePct = 100 * float64(r.gcTime) / float64(elapsed)
+	}
+	var (
+		igSum, scanP, scanF, freedP, freedF            float64
+		freedBP, freedBF, timeP, timeF, pagesP, pagesF float64
+		sweptP, sweptF, dirtyPct, area                 float64
+		nP, nF                                         int
+	)
+	for _, c := range r.cycles {
+		s.ObjectsFreed += int64(c.ObjectsFreed)
+		s.BytesFreed += int64(c.BytesFreed)
+		s.ObjectsScanned += int64(c.ObjectsScanned)
+		switch c.Kind {
+		case Partial:
+			nP++
+			igSum += float64(c.InterGenScanned)
+			scanP += float64(c.ObjectsScanned)
+			freedP += float64(c.ObjectsFreed)
+			freedBP += float64(c.BytesFreed)
+			timeP += float64(c.Duration)
+			pagesP += float64(c.PagesTouched)
+			sweptP += float64(c.Survivors)
+			area += float64(c.AreaScanned)
+			if c.AllocatedCards > 0 {
+				dirtyPct += 100 * float64(c.DirtyCards) / float64(c.AllocatedCards)
+			}
+		case Full:
+			nF++
+			scanF += float64(c.ObjectsScanned)
+			freedF += float64(c.ObjectsFreed)
+			freedBF += float64(c.BytesFreed)
+			timeF += float64(c.Duration)
+			pagesF += float64(c.PagesTouched)
+			sweptF += float64(c.Survivors)
+		}
+	}
+	s.NumPartial, s.NumFull = nP, nF
+	if nP > 0 {
+		fp := float64(nP)
+		s.AvgInterGenScanned = igSum / fp
+		s.AvgScannedPartial = scanP / fp
+		s.AvgFreedObjsPartial = freedP / fp
+		s.AvgFreedBytesPartial = freedBP / fp
+		s.AvgTimePartial = time.Duration(timeP / fp)
+		s.AvgPagesPartial = pagesP / fp
+		s.AvgDirtyCardPct = dirtyPct / fp
+		s.AvgAreaScanned = area / fp
+		if freedP+sweptP > 0 {
+			// "percent of the objects of the young generation that
+			// are collected": freed / (freed + young survivors).
+			s.PctObjsFreedPartial = 100 * freedP / (freedP + sweptP)
+		}
+		if denom := freedBP + bytesSurvivedPartial(r.cycles); denom > 0 {
+			s.PctBytesFreedPartial = 100 * freedBP / denom
+		}
+	}
+	if nF > 0 {
+		ff := float64(nF)
+		s.AvgScannedFull = scanF / ff
+		s.AvgFreedObjsFull = freedF / ff
+		s.AvgFreedBytesFull = freedBF / ff
+		s.AvgTimeFull = time.Duration(timeF / ff)
+		s.AvgPagesFull = pagesF / ff
+		if freedF+sweptF > 0 {
+			s.PctObjsFreedFull = 100 * freedF / (freedF + sweptF)
+		}
+	}
+	return s
+}
+
+// bytesSurvivedPartial estimates surviving young bytes across partial
+// cycles from the sweep's survivor counts; the per-cycle record carries
+// ObjectsSwept, so approximate survivor bytes with the run's average
+// object size.
+func bytesSurvivedPartial(cycles []Cycle) float64 {
+	var freedObjs, freedBytes, swept float64
+	for _, c := range cycles {
+		if c.Kind == Partial {
+			freedObjs += float64(c.ObjectsFreed)
+			freedBytes += float64(c.BytesFreed)
+			swept += float64(c.Survivors)
+		}
+	}
+	if freedObjs == 0 {
+		return 0
+	}
+	return swept * freedBytes / freedObjs
+}

@@ -1,0 +1,117 @@
+package metrics
+
+import (
+	"testing"
+	"time"
+)
+
+func TestCycleKindString(t *testing.T) {
+	if Partial.String() != "partial" || Full.String() != "full" {
+		t.Fatalf("kind strings: %q, %q", Partial.String(), Full.String())
+	}
+}
+
+func TestRecorderSequencing(t *testing.T) {
+	r := NewRecorder()
+	r.Record(Cycle{Kind: Partial})
+	r.Record(Cycle{Kind: Full})
+	cs := r.Cycles()
+	if len(cs) != 2 || cs[0].Seq != 1 || cs[1].Seq != 2 {
+		t.Fatalf("cycles = %+v", cs)
+	}
+	// Cycles must return a copy.
+	cs[0].ObjectsFreed = 999
+	if r.Cycles()[0].ObjectsFreed == 999 {
+		t.Error("Cycles returned aliased storage")
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	r := NewRecorder()
+	s := r.Summarize(time.Second)
+	if s.NumCycles != 0 || s.GCActivePct != 0 || s.NumPartial != 0 {
+		t.Errorf("empty summary = %+v", s)
+	}
+}
+
+func TestSummarizeAggregates(t *testing.T) {
+	r := NewRecorder()
+	r.Record(Cycle{
+		Kind: Partial, Duration: 10 * time.Millisecond,
+		ObjectsScanned: 100, InterGenScanned: 10,
+		ObjectsFreed: 900, BytesFreed: 9000, Survivors: 100,
+		DirtyCards: 50, AllocatedCards: 200,
+		AreaScanned: 2048, PagesTouched: 7,
+	})
+	r.Record(Cycle{
+		Kind: Partial, Duration: 30 * time.Millisecond,
+		ObjectsScanned: 200, InterGenScanned: 30,
+		ObjectsFreed: 700, BytesFreed: 7000, Survivors: 300,
+		DirtyCards: 100, AllocatedCards: 200,
+		AreaScanned: 4096, PagesTouched: 9,
+	})
+	r.Record(Cycle{
+		Kind: Full, Duration: 60 * time.Millisecond,
+		ObjectsScanned: 1000, ObjectsFreed: 400, BytesFreed: 4000,
+		Survivors: 600, PagesTouched: 20,
+	})
+	s := r.Summarize(time.Second)
+
+	if s.NumPartial != 2 || s.NumFull != 1 || s.NumCycles != 3 {
+		t.Fatalf("counts = %d/%d/%d", s.NumPartial, s.NumFull, s.NumCycles)
+	}
+	if s.GCActive != 100*time.Millisecond {
+		t.Errorf("GCActive = %v", s.GCActive)
+	}
+	if s.GCActivePct != 10 {
+		t.Errorf("GCActivePct = %v, want 10", s.GCActivePct)
+	}
+	if s.AvgInterGenScanned != 20 {
+		t.Errorf("AvgInterGenScanned = %v, want 20", s.AvgInterGenScanned)
+	}
+	if s.AvgScannedPartial != 150 {
+		t.Errorf("AvgScannedPartial = %v, want 150", s.AvgScannedPartial)
+	}
+	if s.AvgScannedFull != 1000 {
+		t.Errorf("AvgScannedFull = %v", s.AvgScannedFull)
+	}
+	if s.AvgFreedObjsPartial != 800 {
+		t.Errorf("AvgFreedObjsPartial = %v, want 800", s.AvgFreedObjsPartial)
+	}
+	if s.AvgTimePartial != 20*time.Millisecond {
+		t.Errorf("AvgTimePartial = %v", s.AvgTimePartial)
+	}
+	if s.AvgTimeFull != 60*time.Millisecond {
+		t.Errorf("AvgTimeFull = %v", s.AvgTimeFull)
+	}
+	if s.AvgPagesPartial != 8 || s.AvgPagesFull != 20 {
+		t.Errorf("pages = %v/%v", s.AvgPagesPartial, s.AvgPagesFull)
+	}
+	// Partials: freed 1600 of (1600 freed + 400 survivors) = 80%.
+	if s.PctObjsFreedPartial != 80 {
+		t.Errorf("PctObjsFreedPartial = %v, want 80", s.PctObjsFreedPartial)
+	}
+	// Full: freed 400 of (400 + 600) = 40%.
+	if s.PctObjsFreedFull != 40 {
+		t.Errorf("PctObjsFreedFull = %v, want 40", s.PctObjsFreedFull)
+	}
+	// Dirty: (25% + 50%) / 2 = 37.5%.
+	if s.AvgDirtyCardPct != 37.5 {
+		t.Errorf("AvgDirtyCardPct = %v, want 37.5", s.AvgDirtyCardPct)
+	}
+	if s.AvgAreaScanned != 3072 {
+		t.Errorf("AvgAreaScanned = %v, want 3072", s.AvgAreaScanned)
+	}
+	if s.ObjectsFreed != 2000 || s.BytesFreed != 20000 {
+		t.Errorf("totals = %d objs, %d bytes", s.ObjectsFreed, s.BytesFreed)
+	}
+}
+
+func TestSummarizeDefaultElapsed(t *testing.T) {
+	r := NewRecorder()
+	r.Record(Cycle{Kind: Full, Duration: time.Millisecond})
+	s := r.Summarize(0)
+	if s.Elapsed <= 0 {
+		t.Errorf("elapsed = %v, want positive wall time", s.Elapsed)
+	}
+}

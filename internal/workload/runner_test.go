@@ -1,0 +1,202 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+
+	"gengc"
+)
+
+// newTestRunner builds a runner with an attached mutator for white-box
+// tests of the engine's mechanics.
+func newTestRunner(t *testing.T, p Profile) (*runner, *gengc.Runtime) {
+	t.Helper()
+	rt, err := gengc.NewManual(gengc.Config{Mode: gengc.Generational, HeapBytes: 32 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := newRunner(rt, p, 7)
+	r.m = rt.NewMutator()
+	if err := r.buildBase(); err != nil {
+		t.Fatal(err)
+	}
+	r.nursery = make([]int, p.NurserySlots)
+	for i := range r.nursery {
+		r.nursery[i] = r.m.PushRoot(gengc.Nil)
+	}
+	n := p.SurvivorSlots
+	if n == 0 {
+		n = 64
+	}
+	r.survivors = make([]int, n)
+	r.survivorBorn = make([]int64, n)
+	for i := range r.survivors {
+		r.survivors[i] = r.m.PushRoot(gengc.Nil)
+	}
+	retain := p.OldRetain
+	if retain == 0 {
+		retain = 1024
+	}
+	r.oldRing = make([]oldLoc, retain)
+	return r, rt
+}
+
+func TestBuildBaseSize(t *testing.T) {
+	p := DB()
+	p.Threads = 1
+	r, rt := newTestRunner(t, p)
+	wantCount := p.BaseBytes / p.BaseObjSize
+	if len(r.base) != wantCount {
+		t.Errorf("base has %d objects, want %d", len(r.base), wantCount)
+	}
+	// The base must be a connected chain: walking slot 0 from the last
+	// object reaches every one.
+	seen := 0
+	for x := r.base[len(r.base)-1]; x != gengc.Nil; x = r.m.Read(x, 0) {
+		seen++
+	}
+	if seen != wantCount {
+		t.Errorf("chain reaches %d objects, want %d", seen, wantCount)
+	}
+	_ = rt
+}
+
+// TestNurseryObjectsDie: nursery-routed allocations become unreachable
+// after the ring wraps.
+func TestNurseryObjectsDie(t *testing.T) {
+	p := Anagram()
+	p.NurserySlots = 8
+	p.SurvivorFrac = 0
+	r, rt := newTestRunner(t, p)
+	first := gengc.Nil
+	for op := 0; op < 64; op++ {
+		if err := r.allocate(op); err != nil {
+			t.Fatal(err)
+		}
+		if op == 0 {
+			first = r.m.Root(r.nursery[0])
+		}
+	}
+	// The first object's slot has been overwritten several times.
+	for _, slot := range r.nursery {
+		if r.m.Root(slot) == first {
+			t.Fatal("first allocation still rooted after ring wrapped")
+		}
+	}
+	_ = rt
+}
+
+// TestOldRingBoundsRetention: the old-update ring clears rotated-out
+// locations so at most OldRetain young objects are held by the base.
+func TestOldRingBoundsRetention(t *testing.T) {
+	p := Jess()
+	p.OldRetain = 4
+	r, rt := newTestRunner(t, p)
+	// Give the runner young objects to store.
+	for op := 0; op < 20; op++ {
+		if err := r.allocate(op); err != nil {
+			t.Fatal(err)
+		}
+		r.updateOld()
+	}
+	held := 0
+	for _, obj := range r.base {
+		for i := 1; i < p.BaseSlots; i++ {
+			if r.m.Read(obj, i) != gengc.Nil {
+				held++
+			}
+		}
+	}
+	if held > p.OldRetain {
+		t.Errorf("base holds %d young refs, want <= %d", held, p.OldRetain)
+	}
+	if held == 0 {
+		t.Error("old updates stored nothing")
+	}
+	_ = rt
+}
+
+// TestExpireSurvivorsTTL: survivors are cleared once the cycle count
+// advances past their TTL.
+func TestExpireSurvivorsTTL(t *testing.T) {
+	p := Jack()
+	p.SurvivorFrac = 1.0 // everything survives
+	p.SurvivorTTL = 1
+	p.SurvivorSlots = 16
+	r, rt := newTestRunner(t, p)
+	for op := 0; op < 8; op++ {
+		if err := r.allocate(op); err != nil {
+			t.Fatal(err)
+		}
+	}
+	live := 0
+	for _, s := range r.survivors {
+		if r.m.Root(s) != gengc.Nil {
+			live++
+		}
+	}
+	if live != 8 {
+		t.Fatalf("parked %d survivors, want 8", live)
+	}
+	// Advance the collector's cycle count past the TTL, then sweep the
+	// pool incrementally.
+	r.m.Collect(false)
+	r.m.Collect(false)
+	for op := 0; op < len(r.survivors); op++ {
+		r.expireSurvivors(op)
+	}
+	for i, s := range r.survivors {
+		if r.m.Root(s) != gengc.Nil {
+			t.Errorf("survivor %d not expired after TTL", i)
+		}
+	}
+	_ = rt
+}
+
+// TestClusterAttachRespectsAttachFrac: AttachFrac 0 never writes into
+// cluster heads; AttachFrac 1 fills every head slot before rotating.
+func TestClusterAttachRespectsAttachFrac(t *testing.T) {
+	p := Jess()
+	p.SurvivorFrac = 0
+	p.SlotsMax = 3
+	for _, frac := range []float64{0, 1} {
+		p.AttachFrac = frac
+		r, _ := newTestRunner(t, p)
+		r.rng = rand.New(rand.NewSource(5))
+		writes := 0
+		for op := 0; op < 200; op++ {
+			if err := r.allocate(op); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for _, slot := range r.nursery {
+			head := r.m.Root(slot)
+			if head == gengc.Nil {
+				continue
+			}
+			for i := 0; i < r.m.Slots(head); i++ {
+				if r.m.Read(head, i) != gengc.Nil {
+					writes++
+				}
+			}
+		}
+		if frac == 0 && writes != 0 {
+			t.Errorf("AttachFrac 0 produced %d cluster writes", writes)
+		}
+		if frac == 1 && writes == 0 {
+			t.Error("AttachFrac 1 produced no cluster writes")
+		}
+	}
+}
+
+// TestComputeAdvancesSink: the spin loop does real work the compiler
+// cannot elide.
+func TestComputeAdvancesSink(t *testing.T) {
+	p := Compress()
+	r, _ := newTestRunner(t, p)
+	before := r.sink
+	r.compute()
+	if r.p.WorkPerOp > 0 && r.sink == before {
+		t.Error("compute did not change the sink")
+	}
+}

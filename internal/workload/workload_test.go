@@ -1,0 +1,180 @@
+package workload
+
+import (
+	"testing"
+
+	"gengc"
+)
+
+func TestProfilesValidate(t *testing.T) {
+	for _, p := range All() {
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s: %v", p.Name, err)
+		}
+	}
+	for _, n := range []int{2, 4, 6, 8, 10} {
+		if err := MTRayTracer(n).Validate(); err != nil {
+			t.Errorf("raytracer %d threads: %v", n, err)
+		}
+	}
+}
+
+func TestValidateRejectsBadProfiles(t *testing.T) {
+	good := Anagram()
+	cases := []func(*Profile){
+		func(p *Profile) { p.Threads = 0 },
+		func(p *Profile) { p.OpsPerThread = 0 },
+		func(p *Profile) { p.AllocFrac = 1.5 },
+		func(p *Profile) { p.SurvivorFrac = -0.1 },
+		func(p *Profile) { p.NurserySlots = 0 },
+		func(p *Profile) { p.MeanSize = 8 },
+		func(p *Profile) { p.MeanSize = 32; p.SizeJitter = 64 },
+	}
+	for i, mut := range cases {
+		p := good
+		mut(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d: bad profile validated", i)
+		}
+	}
+}
+
+func TestScale(t *testing.T) {
+	p := Jess()
+	half := p.Scale(0.5)
+	if half.OpsPerThread != p.OpsPerThread/2 {
+		t.Errorf("Scale(0.5) ops = %d, want %d", half.OpsPerThread, p.OpsPerThread/2)
+	}
+	tiny := p.Scale(0.0000001)
+	if tiny.OpsPerThread < 1000 {
+		t.Errorf("Scale floor violated: %d", tiny.OpsPerThread)
+	}
+}
+
+func TestWithThreads(t *testing.T) {
+	p := MTRayTracer(2).WithThreads(8)
+	if p.Threads != 8 {
+		t.Errorf("threads = %d", p.Threads)
+	}
+}
+
+func TestByName(t *testing.T) {
+	if _, ok := ByName("_202_jess"); !ok {
+		t.Error("jess not found")
+	}
+	if _, ok := ByName("nope"); ok {
+		t.Error("bogus name found")
+	}
+}
+
+func TestSPECOrder(t *testing.T) {
+	names := []string{"_201_compress", "_202_jess", "_209_db", "_213_javac", "_227_mtrt", "_228_jack"}
+	spec := SPEC()
+	if len(spec) != len(names) {
+		t.Fatalf("SPEC has %d profiles", len(spec))
+	}
+	for i, p := range spec {
+		if p.Name != names[i] {
+			t.Errorf("SPEC[%d] = %s, want %s", i, p.Name, names[i])
+		}
+	}
+}
+
+// TestRunAllModes runs a small profile under each collector mode and
+// sanity-checks the results.
+func TestRunAllModes(t *testing.T) {
+	p := Anagram().Scale(0.01)
+	for _, mode := range []gengc.Mode{gengc.NonGenerational, gengc.Generational, gengc.GenerationalAging} {
+		res, err := Run(p, gengc.Config{Mode: mode, HeapBytes: 16 << 20, YoungBytes: 1 << 20}, 7)
+		if err != nil {
+			t.Fatalf("%v: %v", mode, err)
+		}
+		if res.Ops != int64(p.OpsPerThread) {
+			t.Errorf("%v: ops = %d, want %d", mode, res.Ops, p.OpsPerThread)
+		}
+		if res.Allocs == 0 || res.AllocedB == 0 {
+			t.Errorf("%v: no allocation recorded", mode)
+		}
+		if res.Elapsed <= 0 {
+			t.Errorf("%v: non-positive elapsed", mode)
+		}
+		if res.Mode != mode {
+			t.Errorf("mode = %v, want %v", res.Mode, mode)
+		}
+	}
+}
+
+// TestRunDeterministicAllocs: the allocation count depends only on the
+// seed, not on collector scheduling.
+func TestRunDeterministicAllocs(t *testing.T) {
+	p := Jess().Scale(0.005)
+	a, err := Run(p, gengc.Config{Mode: gengc.Generational}, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(p, gengc.Config{Mode: gengc.NonGenerational}, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Allocs != b.Allocs || a.AllocedB != b.AllocedB {
+		t.Errorf("allocation streams differ across modes: %d/%d vs %d/%d",
+			a.Allocs, a.AllocedB, b.Allocs, b.AllocedB)
+	}
+}
+
+// TestRunMultithreaded exercises the multi-threaded path.
+func TestRunMultithreaded(t *testing.T) {
+	p := MTRayTracer(4).Scale(0.01)
+	res, err := Run(p, gengc.Config{Mode: gengc.Generational}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops != int64(4*p.OpsPerThread) {
+		t.Errorf("ops = %d, want %d", res.Ops, 4*p.OpsPerThread)
+	}
+}
+
+// TestRunRejectsInvalidProfile propagates validation errors.
+func TestRunRejectsInvalidProfile(t *testing.T) {
+	p := Anagram()
+	p.Threads = 0
+	if _, err := Run(p, gengc.Config{}, 1); err == nil {
+		t.Error("Run accepted an invalid profile")
+	}
+}
+
+// TestProfileCharacteristics spot-checks that profile knobs map to the
+// paper's qualitative characterization after a real run.
+func TestProfileCharacteristics(t *testing.T) {
+	if testing.Short() {
+		t.Skip("workload characterization is slow")
+	}
+	// Anagram: die-young extreme; almost no inter-generational work.
+	res, err := Run(Anagram().Scale(0.1), gengc.Config{Mode: gengc.Generational}, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := res.Summary
+	if s.NumPartial == 0 {
+		t.Fatal("anagram triggered no partials")
+	}
+	if s.PctObjsFreedPartial < 80 {
+		t.Errorf("anagram partial freed %.1f%% of young objects, want > 80%%", s.PctObjsFreedPartial)
+	}
+	if s.AvgInterGenScanned > 200 {
+		t.Errorf("anagram inter-gen scans = %.0f, want tiny", s.AvgInterGenScanned)
+	}
+
+	// Jess: heavy inter-generational maintenance.
+	res, err = Run(Jess().Scale(0.15), gengc.Config{Mode: gengc.Generational}, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s = res.Summary
+	if s.NumPartial < 2 {
+		t.Skipf("jess run too short for characterization (%d partials)", s.NumPartial)
+	}
+	if s.AvgInterGenScanned < 100 {
+		t.Errorf("jess inter-gen scans = %.0f, want substantial", s.AvgInterGenScanned)
+	}
+}
