@@ -1,0 +1,25 @@
+GO ?= go
+
+.PHONY: all vet build test race bench check
+
+all: check
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The concurrency-heavy subset under the race detector: the parallel
+# (Workers>1) trace/sweep tests plus the mutator-vs-collector stress
+# and race interleaving tests.
+race:
+	$(GO) test -race -run 'Race|Stress|Parallel' ./...
+
+bench:
+	$(GO) test -run XXX -bench . -benchtime 1x ./...
+
+check: vet build test race

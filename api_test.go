@@ -1,21 +1,62 @@
 package gengc
 
 import (
-	"strings"
+	"errors"
 	"testing"
 )
 
 func TestNewRejectsBadConfig(t *testing.T) {
-	if _, err := New(Config{CardBytes: 24}); err == nil {
+	if _, err := New(WithCardBytes(24)); err == nil {
 		t.Fatal("New accepted an invalid card size")
 	}
-	if _, err := NewManual(Config{FullThreshold: 2}); err == nil {
+	if _, err := NewManual(WithFullThreshold(2)); err == nil {
 		t.Fatal("NewManual accepted an invalid threshold")
 	}
 }
 
+func TestConfigErrorsAreSentinels(t *testing.T) {
+	cases := []struct {
+		name string
+		opts []Option
+	}{
+		{"card size", []Option{WithCardBytes(24)}},
+		{"threshold", []Option{WithFullThreshold(2)}},
+		{"workers", []Option{WithWorkers(-3)}},
+		{"mode mismatch", []Option{WithMode(NonGenerational), WithRememberedSet(true)}},
+		{"via WithConfig", []Option{WithConfig(Config{OldAge: 1000})}},
+	}
+	for _, tc := range cases {
+		_, err := NewManual(tc.opts...)
+		if err == nil {
+			t.Fatalf("%s: accepted", tc.name)
+		}
+		if !errors.Is(err, ErrInvalidConfig) {
+			t.Errorf("%s: error %v does not wrap ErrInvalidConfig", tc.name, err)
+		}
+	}
+}
+
+func TestWithConfigMatchesOptions(t *testing.T) {
+	a, err := NewManual(WithMode(GenerationalAging), WithHeapBytes(8<<20),
+		WithYoungBytes(1<<20), WithCardBytes(64), WithWorkers(2), WithOldAge(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewManual(WithConfig(Config{
+		Mode: GenerationalAging, HeapBytes: 8 << 20, YoungBytes: 1 << 20,
+		CardBytes: 64, Workers: 2, OldAge: 5,
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Collector().Config() != b.Collector().Config() {
+		t.Fatalf("option-built config %+v != WithConfig-built %+v",
+			a.Collector().Config(), b.Collector().Config())
+	}
+}
+
 func TestHeapAccounting(t *testing.T) {
-	rt, err := NewManual(Config{Mode: Generational, HeapBytes: 4 << 20})
+	rt, err := NewManual(WithMode(Generational), WithHeapBytes(4<<20))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -33,7 +74,7 @@ func TestHeapAccounting(t *testing.T) {
 }
 
 func TestGlobals(t *testing.T) {
-	rt, err := NewManual(Config{Mode: Generational, HeapBytes: 4 << 20})
+	rt, err := NewManual(WithMode(Generational), WithHeapBytes(4<<20))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -50,11 +91,11 @@ func TestGlobals(t *testing.T) {
 }
 
 func TestMustAllocPanicsOnHopelessOOM(t *testing.T) {
-	rt, err := NewManual(Config{
-		Mode: Generational, HeapBytes: 256 << 10,
-		YoungBytes: 128 << 10, InitialTargetBytes: 128 << 10,
-		HeadroomBytes: 64 << 10,
-	})
+	rt, err := NewManual(
+		WithMode(Generational), WithHeapBytes(256<<10),
+		WithYoungBytes(128<<10), WithInitialTargetBytes(128<<10),
+		WithHeadroomBytes(64<<10),
+	)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -65,9 +106,9 @@ func TestMustAllocPanicsOnHopelessOOM(t *testing.T) {
 		if r == nil {
 			t.Fatal("MustAlloc did not panic on exhausted heap")
 		}
-		if !strings.Contains(strings.ToLower(strings.TrimSpace(
-			func() string { e, _ := r.(error); return e.Error() }())), "out of memory") {
-			t.Fatalf("panic value = %v", r)
+		e, ok := r.(error)
+		if !ok || !errors.Is(e, ErrOutOfMemory) {
+			t.Fatalf("panic value %v does not wrap ErrOutOfMemory", r)
 		}
 	}()
 	for i := 0; i < 100000; i++ {
@@ -77,7 +118,7 @@ func TestMustAllocPanicsOnHopelessOOM(t *testing.T) {
 }
 
 func TestStatsAndCycles(t *testing.T) {
-	rt, err := NewManual(Config{Mode: Generational, HeapBytes: 4 << 20})
+	rt, err := NewManual(WithMode(Generational), WithHeapBytes(4<<20))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -101,8 +142,43 @@ func TestStatsAndCycles(t *testing.T) {
 	}
 }
 
+func TestOnCycleStreamsRecords(t *testing.T) {
+	rt, err := NewManual(WithMode(Generational), WithHeapBytes(4<<20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []CycleRecord
+	rt.OnCycle(func(c CycleRecord) { got = append(got, c) })
+	m := rt.NewMutator()
+	defer m.Detach()
+	for i := 0; i < 50; i++ {
+		m.MustAlloc(0, 64)
+	}
+	m.Collect(false)
+	m.Collect(true)
+	if len(got) != 2 {
+		t.Fatalf("observer saw %d records, want 2", len(got))
+	}
+	if got[0].Seq != 1 || got[1].Seq != 2 {
+		t.Fatalf("observer records out of order: %+v", got)
+	}
+	if got[1].Kind.String() != "full" {
+		t.Fatalf("second record kind = %v, want full", got[1].Kind)
+	}
+	// Must match the polled view.
+	cs := rt.Cycles()
+	if len(cs) != 2 || cs[0].ObjectsFreed != got[0].ObjectsFreed {
+		t.Fatal("streamed records disagree with Cycles()")
+	}
+	rt.OnCycle(nil) // removable
+	m.Collect(false)
+	if len(got) != 2 {
+		t.Fatal("observer fired after removal")
+	}
+}
+
 func TestSlotsAccessor(t *testing.T) {
-	rt, err := NewManual(Config{Mode: Generational, HeapBytes: 4 << 20})
+	rt, err := NewManual(WithMode(Generational), WithHeapBytes(4<<20))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -115,7 +191,7 @@ func TestSlotsAccessor(t *testing.T) {
 }
 
 func TestCloseIdempotent(t *testing.T) {
-	rt, err := New(Config{Mode: Generational, HeapBytes: 4 << 20})
+	rt, err := New(WithMode(Generational), WithHeapBytes(4<<20))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -124,7 +200,7 @@ func TestCloseIdempotent(t *testing.T) {
 }
 
 func TestExtensionsThroughFacade(t *testing.T) {
-	rt, err := NewManual(Config{Mode: Generational, HeapBytes: 4 << 20, UseRememberedSet: true})
+	rt, err := NewManual(WithMode(Generational), WithHeapBytes(4<<20), WithRememberedSet(true))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -140,7 +216,7 @@ func TestExtensionsThroughFacade(t *testing.T) {
 	}
 	m.Detach()
 
-	if _, err := NewManual(Config{Mode: GenerationalAging, DynamicTenure: true}); err != nil {
+	if _, err := NewManual(WithMode(GenerationalAging), WithDynamicTenure(true)); err != nil {
 		t.Fatalf("dynamic tenure through facade: %v", err)
 	}
 }

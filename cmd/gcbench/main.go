@@ -31,6 +31,7 @@ func main() {
 		scale      = flag.Float64("scale", 1.0, "workload length multiplier")
 		repeats    = flag.Int("repeats", 3, "runs to average per measurement")
 		seed       = flag.Int64("seed", 0, "workload random seed (0 = default)")
+		gcworkers  = flag.Int("gcworkers", 1, "parallel collector workers (1 = the paper's single collector thread)")
 		out        = flag.String("o", "", "also write results to this file")
 		csv        = flag.Bool("csv", false, "emit tables as CSV instead of aligned text")
 		quiet      = flag.Bool("q", false, "suppress per-run progress")
@@ -48,13 +49,13 @@ func main() {
 		w = io.MultiWriter(os.Stdout, f)
 	}
 
-	opts := bench.Options{Scale: *scale, Repeats: *repeats, Seed: *seed}
+	opts := bench.Options{Scale: *scale, Repeats: *repeats, Seed: *seed, Workers: *gcworkers}
 	if !*quiet {
 		opts.Progress = os.Stderr
 	}
 
-	fmt.Fprintf(w, "gcbench: scale=%v repeats=%d GOMAXPROCS=%d NumCPU=%d\n\n",
-		*scale, *repeats, runtime.GOMAXPROCS(0), runtime.NumCPU())
+	fmt.Fprintf(w, "gcbench: scale=%v repeats=%d gcworkers=%d GOMAXPROCS=%d NumCPU=%d\n\n",
+		*scale, *repeats, *gcworkers, runtime.GOMAXPROCS(0), runtime.NumCPU())
 	start := time.Now()
 	if err := run(w, opts, *experiment, *csv); err != nil {
 		fmt.Fprintln(os.Stderr, "gcbench:", err)

@@ -44,6 +44,7 @@ func main() {
 		remset      = flag.Bool("remset", false, "use the remembered-set variant")
 		dynTenure   = flag.Bool("dyntenure", false, "use the dynamic tenuring policy")
 		globalSlots = flag.Int("globals", 64, "global root slots exercised")
+		workers     = flag.Int("workers", 1, "parallel collector workers")
 	)
 	flag.Parse()
 
@@ -51,15 +52,16 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	rt, err := gengc.New(gengc.Config{
-		Mode:             mode,
-		HeapBytes:        *heapMB << 20,
-		YoungBytes:       *youngKB << 10,
-		CardBytes:        *cardBytes,
-		OldAge:           *oldAge,
-		UseRememberedSet: *remset,
-		DynamicTenure:    *dynTenure,
-	})
+	rt, err := gengc.New(
+		gengc.WithMode(mode),
+		gengc.WithHeapBytes(*heapMB<<20),
+		gengc.WithYoungBytes(*youngKB<<10),
+		gengc.WithCardBytes(*cardBytes),
+		gengc.WithOldAge(*oldAge),
+		gengc.WithRememberedSet(*remset),
+		gengc.WithDynamicTenure(*dynTenure),
+		gengc.WithWorkers(*workers),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -14,15 +14,9 @@ import (
 	"time"
 
 	"gengc"
+	"gengc/internal/metrics"
 	"gengc/internal/workload"
 )
-
-type stampWriter struct{ start time.Time }
-
-func (w stampWriter) Write(p []byte) (int, error) {
-	fmt.Fprintf(os.Stderr, "[%9.2fms] %s", time.Since(w.start).Seconds()*1000, p)
-	return len(p), nil
-}
 
 func main() {
 	var (
@@ -33,6 +27,7 @@ func main() {
 		youngMB  = flag.Int("young", 4, "young generation size in MB")
 		oldAge   = flag.Int("age", 0, "aging tenure threshold (0 = default)")
 		pageCost = flag.Int("pagecost", 0, "simulated memory cost per page touch (spins)")
+		workers  = flag.Int("workers", 1, "parallel collector workers")
 		seed     = flag.Int64("seed", 42, "workload seed")
 		list     = flag.Bool("list", false, "list profiles and exit")
 	)
@@ -65,15 +60,30 @@ func main() {
 	}
 	p = p.Scale(*scale)
 
+	// Stream each cycle's record to stderr as it completes: the live
+	// event log behind the final characterization below. The callback
+	// runs on the collector goroutine via Runtime.OnCycle.
+	start := time.Now()
+	streamCycle := func(c metrics.Cycle) {
+		line := fmt.Sprintf("[%9.2fms] cycle %d (%v): scanned %d objects / %d slots, freed %d objects (%d KB), %d dirty cards",
+			time.Since(start).Seconds()*1000, c.Seq, c.Kind,
+			c.ObjectsScanned, c.SlotsScanned, c.ObjectsFreed, c.BytesFreed/1024, c.DirtyCards)
+		if c.Workers > 1 {
+			line += fmt.Sprintf(", %d workers (%d steals, trace efficiency %.2f)",
+				c.Workers, c.Steals, c.TraceEfficiency())
+		}
+		fmt.Fprintln(os.Stderr, line)
+	}
+
 	res, err := workload.Run(p, gengc.Config{
 		Mode:          mode,
 		CardBytes:     *cardSize,
 		YoungBytes:    *youngMB << 20,
 		OldAge:        *oldAge,
+		Workers:       *workers,
 		TrackPages:    true,
 		PageCostSpins: *pageCost,
-		Log:           stampWriter{time.Now()},
-	}, *seed)
+	}, *seed, workload.OnCycle(streamCycle))
 	if err != nil {
 		log.Fatal(err)
 	}

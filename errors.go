@@ -1,0 +1,24 @@
+package gengc
+
+import (
+	"gengc/internal/gc"
+	"gengc/internal/heap"
+)
+
+// Sentinel errors. They are the targets for errors.Is on every error
+// this package returns; the concrete error still carries the detail
+// (the offending configuration field, the requesting mutator, the
+// number of collections attempted).
+var (
+	// ErrInvalidConfig is wrapped by New and NewManual when the
+	// configuration assembled from the options cannot be run: an
+	// out-of-range field or an option combination the selected mode
+	// does not support.
+	ErrInvalidConfig = gc.ErrInvalidConfig
+
+	// ErrOutOfMemory is wrapped by Alloc (and panicked by MustAlloc)
+	// when the heap cannot satisfy an allocation even after repeated
+	// full collections — the live set plus the request exceed the
+	// configured heap.
+	ErrOutOfMemory = heap.ErrOutOfMemory
+)

@@ -9,7 +9,7 @@ import (
 // Example shows the minimal lifecycle: attach a mutator, allocate and
 // link objects through the write barrier, drop them, and collect.
 func Example() {
-	rt, err := gengc.NewManual(gengc.Config{Mode: gengc.Generational})
+	rt, err := gengc.NewManual(gengc.WithMode(gengc.Generational))
 	if err != nil {
 		panic(err)
 	}
@@ -32,29 +32,44 @@ func Example() {
 	// objects freed: true
 }
 
-// ExampleConfig shows the paper's parameter space: collector variant,
-// young generation size, and card size.
-func ExampleConfig() {
-	cfg := gengc.Config{
-		Mode:       gengc.GenerationalAging,
-		YoungBytes: 2 << 20, // 2 MB young generation
-		CardBytes:  4096,    // "block marking"
-		OldAge:     5,       // tenure after six survived collections
+// ExampleNewManual shows the paper's parameter space expressed as
+// functional options: collector variant, young generation size, card
+// size, tenure threshold, and the parallel-collector worker count.
+func ExampleNewManual() {
+	rt, err := gengc.NewManual(
+		gengc.WithMode(gengc.GenerationalAging),
+		gengc.WithYoungBytes(2<<20), // 2 MB young generation
+		gengc.WithCardBytes(4096),   // "block marking"
+		gengc.WithOldAge(5),         // tenure after six survived collections
+		gengc.WithWorkers(2),        // parallel trace & sweep
+	)
+	if err != nil {
+		panic(err)
 	}
-	rt, err := gengc.NewManual(cfg)
+	defer rt.Close()
+	fmt.Println(rt.Collector().Config().Mode)
+	// Output:
+	// generational+aging
+}
+
+// ExampleWithConfig shows applying a prepared Config — the bridge from
+// the previous struct-literal construction API.
+func ExampleWithConfig() {
+	cfg := gengc.Config{Mode: gengc.Generational, CardBytes: 16}
+	rt, err := gengc.NewManual(gengc.WithConfig(cfg))
 	if err != nil {
 		panic(err)
 	}
 	defer rt.Close()
 	fmt.Println(cfg.Mode)
 	// Output:
-	// generational+aging
+	// generational
 }
 
 // ExampleRuntime_Verify shows the built-in heap audit used throughout
 // the test suite.
 func ExampleRuntime_Verify() {
-	rt, err := gengc.NewManual(gengc.Config{Mode: gengc.Generational})
+	rt, err := gengc.NewManual(gengc.WithMode(gengc.Generational))
 	if err != nil {
 		panic(err)
 	}

@@ -35,7 +35,8 @@ func permute(m *gengc.Mutator, letters []byte, depth int, scratch int, count *in
 }
 
 func run(mode gengc.Mode, rounds int) time.Duration {
-	rt, err := gengc.New(gengc.Config{Mode: mode, HeapBytes: 16 << 20, YoungBytes: 2 << 20})
+	rt, err := gengc.New(gengc.WithMode(mode),
+		gengc.WithHeapBytes(16<<20), gengc.WithYoungBytes(2<<20))
 	if err != nil {
 		log.Fatal(err)
 	}

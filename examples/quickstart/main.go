@@ -13,7 +13,7 @@ import (
 func main() {
 	// The defaults are the paper's chosen parameters: 32 MB heap,
 	// 4 MB young generation, 16-byte cards, simple promotion.
-	rt, err := gengc.New(gengc.Config{Mode: gengc.Generational})
+	rt, err := gengc.New(gengc.WithMode(gengc.Generational))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -58,7 +58,7 @@ func render(m *gengc.Mutator, scene gengc.Ref, rays int, rng *rand.Rand) int {
 }
 
 func run(mode gengc.Mode, threads, raysPerThread int) time.Duration {
-	rt, err := gengc.New(gengc.Config{Mode: mode})
+	rt, err := gengc.New(gengc.WithMode(mode))
 	if err != nil {
 		log.Fatal(err)
 	}

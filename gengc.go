@@ -18,7 +18,7 @@
 //
 // # Quick start
 //
-//	rt, err := gengc.New(gengc.Config{Mode: gengc.Generational})
+//	rt, err := gengc.New(gengc.WithMode(gengc.Generational))
 //	if err != nil { ... }
 //	defer rt.Close()
 //
@@ -68,8 +68,14 @@ const (
 // Config parameterizes a Runtime; zero fields assume the paper's
 // defaults: a 32 MB heap, a 4 MB young generation, 16-byte cards
 // ("object marking"), tenure threshold 4 (in the paper's age counting),
-// and a full collection once the heap is 75% allocated.
+// a full collection once the heap is 75% allocated, and one collector
+// worker. Runtimes are built from functional options (WithMode,
+// WithHeapBytes, ...); a prepared Config is applied with WithConfig.
 type Config = gc.Config
+
+// CycleRecord is the per-collection record passed to OnCycle observers
+// and returned by Cycles.
+type CycleRecord = metrics.Cycle
 
 // Runtime owns one heap and its collector — the analogue of one JVM
 // instance in the paper's experiments.
@@ -77,9 +83,10 @@ type Runtime struct {
 	c *gc.Collector
 }
 
-// New creates a runtime and starts its collector goroutine.
-func New(cfg Config) (*Runtime, error) {
-	c, err := gc.New(cfg)
+// New creates a runtime from the given options and starts its collector
+// goroutine. A configuration error wraps ErrInvalidConfig.
+func New(opts ...Option) (*Runtime, error) {
+	c, err := gc.New(buildConfig(opts))
 	if err != nil {
 		return nil, err
 	}
@@ -90,8 +97,8 @@ func New(cfg Config) (*Runtime, error) {
 // NewManual creates a runtime whose collections run only when Collect is
 // called — no background collector goroutine. Intended for tests and
 // deterministic experiments.
-func NewManual(cfg Config) (*Runtime, error) {
-	c, err := gc.New(cfg)
+func NewManual(opts ...Option) (*Runtime, error) {
+	c, err := gc.New(buildConfig(opts))
 	if err != nil {
 		return nil, err
 	}
@@ -117,7 +124,14 @@ func (r *Runtime) Collect(full bool) { r.c.CollectNow(full) }
 func (r *Runtime) Stats() metrics.Summary { return r.c.Metrics().Summarize(0) }
 
 // Cycles returns the per-collection records (one entry per cycle).
-func (r *Runtime) Cycles() []metrics.Cycle { return r.c.Metrics().Cycles() }
+func (r *Runtime) Cycles() []CycleRecord { return r.c.Metrics().Cycles() }
+
+// OnCycle registers fn to receive every collection's record as the
+// cycle completes, so embedders can stream per-collection telemetry
+// instead of polling Cycles. fn runs on the collector goroutine — it
+// must not block (the next cycle waits for it) and must not trigger
+// collections. A nil fn removes the observer; there is at most one.
+func (r *Runtime) OnCycle(fn func(CycleRecord)) { r.c.Metrics().OnRecord(fn) }
 
 // HeapBytes returns the currently allocated bytes (live plus floating
 // garbage).
@@ -161,13 +175,15 @@ type Mutator struct {
 // new object is colored with the current allocation color, per the
 // paper's create routine. On heap exhaustion the mutator transparently
 // waits for a full collection and retries; the returned error is
-// non-nil only when even repeated full collections cannot make room.
+// non-nil only when even repeated full collections cannot make room,
+// and then satisfies errors.Is(err, ErrOutOfMemory).
 func (m *Mutator) Alloc(slots, size int) (Ref, error) {
 	return m.m.Alloc(slots, size)
 }
 
-// MustAlloc is Alloc that panics on out-of-memory; convenient in
-// examples and workloads where OOM indicates a configuration error.
+// MustAlloc is Alloc that panics on out-of-memory (the panic value is
+// the error wrapping ErrOutOfMemory); convenient in examples and
+// workloads where exhausting the heap indicates a configuration error.
 func (m *Mutator) MustAlloc(slots, size int) Ref {
 	r, err := m.m.Alloc(slots, size)
 	if err != nil {

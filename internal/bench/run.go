@@ -35,6 +35,10 @@ type Options struct {
 	// gc.Config.PageCostSpins. Negative disables; 0 uses the default.
 	PageCost int
 
+	// Workers is the parallel collector worker count (0 or 1 keeps the
+	// paper's single collector thread).
+	Workers int
+
 	// Progress, when non-nil, receives one line per run.
 	Progress io.Writer
 }
@@ -75,6 +79,7 @@ func (o Options) config(mode gengc.Mode, youngBytes, cardBytes, oldAge int) geng
 		YoungBytes:    youngBytes,
 		CardBytes:     cardBytes,
 		OldAge:        oldAge,
+		Workers:       o.Workers,
 		TrackPages:    o.TrackPages,
 		PageCostSpins: o.PageCost,
 	}

@@ -138,17 +138,21 @@ func (c *Collector) clearCardsAging() {
 // algorithm keeps them, because its inter-generational pointers can
 // outlive a full collection (§6).
 func (c *Collector) initFullCollection() {
-	// Recoloring invalidates every all-black hint.
-	for b := 1; b < c.H.NumBlocks(); b++ {
-		c.H.SetAllBlackHint(b, false)
-	}
-	ac := heap.Color(c.allocColor.Load())
-	c.H.ForEachObject(func(addr heap.Addr) {
-		c.H.Pages.TouchHeap(addr, 1)
-		if col := c.H.Color(addr); col == heap.Black || col == heap.Gray {
-			c.H.SetColor(addr, ac)
+	if c.cfg.Workers > 1 {
+		c.initFullParallel()
+	} else {
+		// Recoloring invalidates every all-black hint.
+		for b := 1; b < c.H.NumBlocks(); b++ {
+			c.H.SetAllBlackHint(b, false)
 		}
-	})
+		ac := heap.Color(c.allocColor.Load())
+		c.H.ForEachObject(func(addr heap.Addr) {
+			c.H.Pages.TouchHeap(addr, 1)
+			if col := c.H.Color(addr); col == heap.Black || col == heap.Gray {
+				c.H.SetColor(addr, ac)
+			}
+		})
+	}
 	if c.cfg.Mode == Generational {
 		c.Cards.ClearAll()
 		for ci := 0; ci < c.Cards.NumCards(); ci += heap.PageBytes {

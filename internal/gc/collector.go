@@ -81,6 +81,13 @@ type Collector struct {
 	// collector goroutine touches it.
 	markStack []heap.Addr
 
+	// workers is the trace worker pool (Workers > 1 only), built
+	// lazily on the first parallel drain; tracePending counts gray
+	// objects queued in or being scanned from the worker deques — the
+	// drain-local termination condition (parallel.go).
+	workers      []*traceWorker
+	tracePending atomic.Int64
+
 	// orphans holds gray objects inherited from detached mutators.
 	orphans struct {
 		sync.Mutex

@@ -13,11 +13,17 @@
 package gc
 
 import (
+	"errors"
 	"fmt"
 	"io"
 
 	"gengc/internal/card"
 )
+
+// ErrInvalidConfig is wrapped by every configuration-validation failure,
+// so callers can detect the class with errors.Is and still read the
+// offending field from the message.
+var ErrInvalidConfig = errors.New("invalid configuration")
 
 // Mode selects which of the paper's collectors runs.
 type Mode int
@@ -113,6 +119,16 @@ type Config struct {
 	// go through the ordinary write barrier.
 	GlobalRootSlots int
 
+	// Workers is the number of collector worker goroutines used for
+	// the trace and sweep phases. 1 (the default) reproduces the
+	// paper's single collector thread exactly — the sequential trace
+	// and sweep code paths run unchanged. Values above 1 parallelize
+	// the trace with per-worker work-stealing deques and shard the
+	// sweep by block ranges; the on-the-fly property and the
+	// handshake protocol are unaffected (see DESIGN.md, "Parallel
+	// trace & sweep").
+	Workers int
+
 	// DisableColorToggle runs the baseline with the *original* DLG
 	// create protocol of §2 instead of the color toggle of §5 /
 	// Remark 5.1: no yellow color, the clear color is always white,
@@ -178,40 +194,47 @@ func (c Config) withDefaults() Config {
 	if c.GlobalRootSlots == 0 {
 		c.GlobalRootSlots = 256
 	}
+	if c.Workers == 0 {
+		c.Workers = 1
+	}
 	return c
 }
 
-// validate rejects configurations the collector cannot run.
+// validate rejects configurations the collector cannot run. Every
+// failure wraps ErrInvalidConfig.
 func (c Config) validate() error {
 	if c.Mode < NonGenerational || c.Mode > GenerationalAging {
-		return fmt.Errorf("gc: invalid mode %d", int(c.Mode))
+		return fmt.Errorf("gc: %w: invalid mode %d", ErrInvalidConfig, int(c.Mode))
 	}
 	if c.CardBytes < card.MinSize || c.CardBytes > card.MaxSize || c.CardBytes&(c.CardBytes-1) != 0 {
-		return fmt.Errorf("gc: invalid card size %d", c.CardBytes)
+		return fmt.Errorf("gc: %w: invalid card size %d", ErrInvalidConfig, c.CardBytes)
 	}
 	if c.YoungBytes <= 0 || c.YoungBytes > c.HeapBytes {
-		return fmt.Errorf("gc: invalid young generation size %d (heap %d)", c.YoungBytes, c.HeapBytes)
+		return fmt.Errorf("gc: %w: invalid young generation size %d (heap %d)", ErrInvalidConfig, c.YoungBytes, c.HeapBytes)
 	}
 	if c.FullThreshold <= 0 || c.FullThreshold >= 1 {
-		return fmt.Errorf("gc: full-collection threshold %v out of (0,1)", c.FullThreshold)
+		return fmt.Errorf("gc: %w: full-collection threshold %v out of (0,1)", ErrInvalidConfig, c.FullThreshold)
 	}
 	if c.InitialTargetBytes < 64<<10 || c.InitialTargetBytes > c.HeapBytes {
-		return fmt.Errorf("gc: initial full-collection target %d out of range", c.InitialTargetBytes)
+		return fmt.Errorf("gc: %w: initial full-collection target %d out of range", ErrInvalidConfig, c.InitialTargetBytes)
 	}
 	if c.HeadroomBytes < 64<<10 || c.HeadroomBytes > c.HeapBytes {
-		return fmt.Errorf("gc: full-collection headroom %d out of range", c.HeadroomBytes)
+		return fmt.Errorf("gc: %w: full-collection headroom %d out of range", ErrInvalidConfig, c.HeadroomBytes)
 	}
 	if c.OldAge < 1 || c.OldAge > 200 {
-		return fmt.Errorf("gc: tenure threshold %d out of range", c.OldAge)
+		return fmt.Errorf("gc: %w: tenure threshold %d out of range", ErrInvalidConfig, c.OldAge)
+	}
+	if c.Workers < 1 || c.Workers > 256 {
+		return fmt.Errorf("gc: %w: worker count %d out of [1,256]", ErrInvalidConfig, c.Workers)
 	}
 	if c.UseRememberedSet && c.Mode != Generational {
-		return fmt.Errorf("gc: remembered set requires the simple generational mode")
+		return fmt.Errorf("gc: %w: remembered set requires the simple generational mode", ErrInvalidConfig)
 	}
 	if c.DisableColorToggle && c.Mode != NonGenerational {
-		return fmt.Errorf("gc: the toggle-free create protocol is only supported without generations")
+		return fmt.Errorf("gc: %w: the toggle-free create protocol is only supported without generations", ErrInvalidConfig)
 	}
 	if c.DynamicTenure && c.Mode != GenerationalAging {
-		return fmt.Errorf("gc: dynamic tenuring requires the aging mode")
+		return fmt.Errorf("gc: %w: dynamic tenuring requires the aging mode", ErrInvalidConfig)
 	}
 	return nil
 }

@@ -29,7 +29,11 @@ func (c *Collector) Cycle(full bool) {
 	if full {
 		kind = metrics.Full
 	}
-	c.cyc = metrics.Cycle{Kind: kind}
+	c.cyc = metrics.Cycle{Kind: kind, Workers: c.cfg.Workers}
+	if c.cfg.Workers > 1 {
+		c.cyc.WorkerScanned = make([]int, c.cfg.Workers)
+		c.cyc.WorkerFreed = make([]int, c.cfg.Workers)
+	}
 	c.H.Pages.Reset()
 
 	// --- clear ---
@@ -83,9 +87,12 @@ func (c *Collector) Cycle(full bool) {
 	c.cyc.HandshakeTime = time.Since(syncStart)
 
 	// --- trace ---
+	traceStart := time.Now()
 	c.trace()
+	c.cyc.TraceTime = time.Since(traceStart)
 
 	// --- sweep ---
+	sweepStart := time.Now()
 	if toggleFree {
 		c.sweepBlock.Store(0)
 		c.phase.Store(uint32(phaseSweeping))
@@ -95,6 +102,7 @@ func (c *Collector) Cycle(full bool) {
 	}
 	c.phase.Store(uint32(phaseIdle))
 	c.H.ReclaimEmptyBlocks()
+	c.cyc.SweepTime = time.Since(sweepStart)
 
 	switch {
 	case full:

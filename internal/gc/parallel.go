@@ -1,0 +1,459 @@
+package gc
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gengc/internal/heap"
+)
+
+// Parallel trace and sweep (Workers > 1). The paper runs a single
+// collector thread (§8: the 4-way PowerPC leaves three processors to the
+// mutators); this file parallelizes the collector's two heavy phases
+// while leaving the on-the-fly machinery — handshakes, write barrier,
+// card scanning, trace-termination protocol — untouched:
+//
+//   - The trace replaces the single mark stack with one deque per worker
+//     plus work stealing. Every gray transition is still a CAS on the
+//     color table (CasColor), so each object enters exactly one deque at
+//     most once per cycle and is blackened by exactly one worker; the
+//     SATB reasoning of trace.go carries over verbatim.
+//
+//   - Termination inside one drain uses a pending counter: it counts
+//     objects that sit in some deque or are being scanned. A push
+//     increments it before the object becomes stealable and the scanning
+//     worker decrements it only after the object's sons were pushed, so
+//     pending == 0 proves no work exists anywhere — the same
+//     "all deques empty and steal failed" condition expressed as one
+//     atomic. The cross-mutator fixpoint (gray counter + ack round)
+//     remains the outer loop's job, exactly as with one worker.
+//
+//   - The sweep shards the block range across the same pool: workers
+//     claim chunks of blocks from an atomic cursor, accumulate dead
+//     cells in per-worker batches, and merge each batch under a single
+//     heap-lock acquisition (heap.FreeBatch). Blocks are disjoint, so
+//     two workers never touch the same object's color, age or hint.
+
+// sweepChunkBlocks is how many blocks a sweep worker claims per cursor
+// bump: large enough to amortize the atomic, small enough to balance
+// uneven block populations.
+const sweepChunkBlocks = 16
+
+// publishThreshold is the private-stack depth beyond which a worker
+// offers the older half of its work to thieves. Low enough that a
+// worker holding plenty of work shares promptly, high enough that the
+// owner's hot path stays lock-free.
+const publishThreshold = 16
+
+// wsDeque is one worker's gray-object deque, split in two so the
+// owner's hot path takes no lock: `priv` is a plain stack touched only
+// by the owner, and `shared` is a mutex-guarded window that thieves
+// steal from. The owner publishes the *older* half of its private stack
+// — typically the roots of the largest untraced subgraphs — whenever
+// the stack is deep and the window has run empty; `sharedN` mirrors
+// len(shared) so both sides can check for emptiness without the lock.
+type wsDeque struct {
+	priv    []heap.Addr
+	mu      sync.Mutex
+	shared  []heap.Addr
+	sharedN atomic.Int32
+}
+
+// push appends to the owner's private stack, republishing work for
+// thieves when the stack is deep and the steal window is empty. Owner
+// only.
+func (d *wsDeque) push(x heap.Addr) {
+	d.priv = append(d.priv, x)
+	if len(d.priv) >= publishThreshold && d.sharedN.Load() == 0 {
+		d.publish()
+	}
+}
+
+// publish moves the older half of the private stack into the shared
+// window. Owner only.
+func (d *wsDeque) publish() {
+	half := len(d.priv) / 2
+	if half == 0 {
+		return
+	}
+	d.mu.Lock()
+	d.shared = append(d.shared, d.priv[:half]...)
+	d.sharedN.Store(int32(len(d.shared)))
+	d.mu.Unlock()
+	d.priv = append(d.priv[:0], d.priv[half:]...)
+}
+
+// pop takes from the private stack, refilling it with anything left in
+// the shared window when it runs dry. Owner only.
+func (d *wsDeque) pop() (heap.Addr, bool) {
+	if n := len(d.priv); n > 0 {
+		x := d.priv[n-1]
+		d.priv = d.priv[:n-1]
+		return x, true
+	}
+	if d.sharedN.Load() == 0 {
+		return 0, false
+	}
+	d.mu.Lock()
+	d.priv = append(d.priv, d.shared...)
+	d.shared = d.shared[:0]
+	d.sharedN.Store(0)
+	d.mu.Unlock()
+	if n := len(d.priv); n > 0 {
+		x := d.priv[n-1]
+		d.priv = d.priv[:n-1]
+		return x, true
+	}
+	return 0, false
+}
+
+// stealFrom moves roughly half of the victim's published work into d's
+// private stack. d must be the calling worker's own deque. It returns
+// how many objects moved.
+func (d *wsDeque) stealFrom(victim *wsDeque) int {
+	if victim.sharedN.Load() == 0 {
+		return 0
+	}
+	victim.mu.Lock()
+	n := len(victim.shared)
+	if n == 0 {
+		victim.mu.Unlock()
+		return 0
+	}
+	take := (n + 1) / 2
+	d.priv = append(d.priv, victim.shared[:take]...)
+	victim.shared = append(victim.shared[:0], victim.shared[take:]...)
+	victim.sharedN.Store(int32(len(victim.shared)))
+	victim.mu.Unlock()
+	return take
+}
+
+// traceWorker is one trace worker's deque and work counters. The
+// counters are merged into the cycle record after each drain.
+type traceWorker struct {
+	deque   wsDeque
+	scanned int
+	slots   int
+	steals  int
+}
+
+// workerPool lazily builds the per-worker state; it lives for the
+// collector's lifetime so per-cycle metrics can be indexed by worker.
+func (c *Collector) workerPool() []*traceWorker {
+	if c.workers == nil {
+		c.workers = make([]*traceWorker, c.cfg.Workers)
+		for i := range c.workers {
+			c.workers[i] = &traceWorker{}
+		}
+	}
+	return c.workers
+}
+
+// activeWorkers bounds how many pool goroutines actually run: one more
+// than the processors the Go runtime schedules onto, so a runnable
+// worker stands ready whenever another blocks or is preempted. Beyond
+// that, extra workers on a saturated machine contribute no progress —
+// only steal scans, publish traffic and spin — so a Workers setting
+// above the machine's parallelism degrades gracefully instead of
+// thrashing.
+func (c *Collector) activeWorkers() int {
+	n := c.cfg.Workers
+	if max := runtime.GOMAXPROCS(0) + 1; n > max {
+		n = max
+	}
+	return n
+}
+
+// shadeInto performs the clear→gray transition and, on success, makes
+// the object visible to the pool: pending is raised before the push so
+// that no worker can observe pending == 0 while the object is queued.
+func (c *Collector) shadeInto(w *traceWorker, x heap.Addr, from heap.Color) {
+	if x == 0 {
+		return
+	}
+	if c.H.Color(x) == from && c.H.CasColor(x, from, heap.Gray) {
+		c.tracePending.Add(1)
+		w.deque.push(x)
+	}
+}
+
+// markBlackWorker is markBlack with worker-local counters and deque.
+func (c *Collector) markBlackWorker(w *traceWorker, x heap.Addr) {
+	if c.H.Color(x) == heap.Black {
+		return
+	}
+	cc := heap.Color(c.clearColor.Load())
+	slots := c.H.Slots(x)
+	c.H.Pages.TouchHeap(x, heap.HeaderBytes+slots*heap.WordBytes)
+	for i := 0; i < slots; i++ {
+		c.shadeInto(w, c.H.LoadSlot(x, i), cc)
+	}
+	c.H.SetColor(x, heap.Black)
+	w.scanned++
+	w.slots += slots
+}
+
+// traceWorkerLoop drains deques until the pool-wide pending counter
+// proves there is no queued or in-flight object left.
+func (c *Collector) traceWorkerLoop(id int, ws []*traceWorker) {
+	w := ws[id]
+	misses := 0
+	for {
+		x, ok := w.deque.pop()
+		if !ok {
+			// Run dry: try to steal before concluding anything.
+			stole := false
+			for off := 1; off < len(ws); off++ {
+				victim := ws[(id+off)%len(ws)]
+				if w.deque.stealFrom(&victim.deque) > 0 {
+					w.steals++
+					stole = true
+					break
+				}
+			}
+			if stole {
+				misses = 0
+				continue
+			}
+			if c.tracePending.Load() == 0 {
+				return
+			}
+			// Another worker holds in-flight objects whose sons may
+			// land in its deque. Spin rather than yield: on a loaded
+			// machine a voluntary yield hands the rest of this
+			// timeslice to a mutator, and the straggler we are waiting
+			// for is preempted onto the CPU soon anyway. Yield only
+			// after a long dry stretch so an idle-but-runnable worker
+			// cannot starve anyone on a single-processor box.
+			misses++
+			if misses%(1<<14) == 0 {
+				runtime.Gosched()
+			}
+			continue
+		}
+		misses = 0
+		c.markBlackWorker(w, x)
+		c.tracePending.Add(-1)
+	}
+}
+
+// serialDrainBudget is how many objects drainParallel scans on the
+// collector goroutine before waking the pool. Most fixpoint rounds are
+// small — a batch of barrier-grayed objects whose subgraphs are already
+// black — and finish well inside the budget; dispatching those to the
+// pool would stretch each round from microseconds to a full scheduler
+// rotation, because the drain cannot end until every seeded worker has
+// been scheduled and run dry.
+const serialDrainBudget = 4096
+
+// drainParallel drains the collector's seed stack: serially while the
+// drain is small, spilling to the worker deques and work stealing once
+// it outlives the serial budget — which only a graph-sized trace does.
+// It is the parallel counterpart of drainStack: gray objects produced
+// concurrently by mutators still accumulate in their own buffers and
+// are folded in by the outer fixpoint loop of trace().
+func (c *Collector) drainParallel() {
+	before := c.cyc.ObjectsScanned
+	for budget := serialDrainBudget; len(c.markStack) > 0 && budget > 0; budget-- {
+		x := c.markStack[len(c.markStack)-1]
+		c.markStack = c.markStack[:len(c.markStack)-1]
+		c.markBlack(x)
+	}
+	// The serial scans were done by the collector goroutine — worker 0.
+	c.cyc.WorkerScanned[0] += c.cyc.ObjectsScanned - before
+	seeds := c.markStack
+	c.markStack = c.markStack[:0]
+	if len(seeds) == 0 {
+		return
+	}
+	ws := c.workerPool()[:c.activeWorkers()]
+	c.tracePending.Add(int64(len(seeds)))
+	for i, x := range seeds {
+		ws[i%len(ws)].deque.push(x)
+	}
+	var wg sync.WaitGroup
+	for id := 1; id < len(ws); id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			c.traceWorkerLoop(id, ws)
+		}(id)
+	}
+	c.traceWorkerLoop(0, ws) // the collector goroutine is worker 0
+	wg.Wait()
+
+	for id, w := range ws {
+		c.cyc.ObjectsScanned += w.scanned
+		c.cyc.SlotsScanned += w.slots
+		c.cyc.Steals += w.steals
+		c.cyc.WorkerScanned[id] += w.scanned
+		w.scanned, w.slots, w.steals = 0, 0, 0
+	}
+}
+
+// traceParallel is trace() with drainStack replaced by drainParallel.
+// The outer protocol is identical: drain, fold in mutator gray buffers,
+// and only conclude after an acknowledgement round bounded by a stable
+// gray-production counter — the multi-worker drain changes who blackens
+// an object, not when the fixpoint holds (see DESIGN.md).
+func (c *Collector) traceParallel() {
+	for {
+		c.drainParallel()
+		if c.collectBuffers() > 0 {
+			continue
+		}
+		g0 := c.grayProduced.Load()
+		c.ackRound()
+		n := c.collectBuffers()
+		c.drainParallel()
+		g1 := c.grayProduced.Load()
+		if n == 0 && g0 == g1 && len(c.markStack) == 0 {
+			break
+		}
+	}
+	c.tracing.Store(false)
+}
+
+// initFullParallel shards the full-collection recoloring walk of
+// initFullCollection over the worker pool, claiming chunks of blocks
+// from an atomic cursor like sweepParallel, with the same serial probe
+// deciding whether the walk is long enough to pay the pool's wake-up
+// latency. Blocks are disjoint and the hint, color and page structures
+// take concurrent writers, so no further coordination is needed; the
+// Generational card clear stays with the caller.
+func (c *Collector) initFullParallel() {
+	ac := heap.Color(c.allocColor.Load())
+	nBlocks := c.H.NumBlocks()
+	var cursor atomic.Int64
+	cursor.Store(1) // block 0 is reserved
+	claim := func() bool {
+		lo := int(cursor.Add(sweepChunkBlocks)) - sweepChunkBlocks
+		if lo >= nBlocks {
+			return false
+		}
+		hi := lo + sweepChunkBlocks
+		if hi > nBlocks {
+			hi = nBlocks
+		}
+		for b := lo; b < hi; b++ {
+			// Recoloring invalidates every all-black hint.
+			c.H.SetAllBlackHint(b, false)
+			c.H.ForEachObjectInBlock(b, func(addr heap.Addr) {
+				c.H.Pages.TouchHeap(addr, 1)
+				if col := c.H.Color(addr); col == heap.Black || col == heap.Gray {
+					c.H.SetColor(addr, ac)
+				}
+			})
+		}
+		return true
+	}
+
+	start := time.Now()
+	spill := false
+	for !spill && claim() {
+		if elapsed := time.Since(start); elapsed > sweepSpillLatency/8 {
+			done := cursor.Load() - 1
+			if done > int64(nBlocks) {
+				done = int64(nBlocks)
+			}
+			projected := time.Duration(float64(elapsed) * float64(nBlocks) / float64(done))
+			spill = projected-elapsed > sweepSpillLatency
+		}
+	}
+	if spill {
+		var wg sync.WaitGroup
+		for i := 1; i < c.activeWorkers(); i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for claim() {
+				}
+			}()
+		}
+		for claim() {
+		}
+		wg.Wait()
+	}
+}
+
+// sweepSpillLatency approximates the scheduler cost of engaging the
+// pool mid-phase on a loaded machine: a freshly spawned worker may wait
+// a full rotation of the run queue — tens of milliseconds behind
+// compute-bound mutators — before claiming its first block, so the pool
+// is engaged only when the projected remaining sweep time dwarfs that
+// latency.
+const sweepSpillLatency = 25 * time.Millisecond
+
+// sweepParallel shards the block walk of sweep() across the worker
+// pool. Workers claim chunks of blocks from an atomic cursor and sweep
+// them with a private sweepState; batches hit the heap lock only on
+// flush, and the counters merge once at the end. The collector
+// goroutine sweeps alone first, projecting the whole sweep's duration
+// from its progress, and wakes the pool only for a sweep long enough
+// to pay for it.
+func (c *Collector) sweepParallel(full bool) {
+	cc := heap.Color(c.clearColor.Load())
+	ac := heap.Color(c.allocColor.Load())
+	aging := c.cfg.Mode == GenerationalAging
+	oldest := c.oldestAge()
+	nBlocks := c.H.NumBlocks()
+
+	var cursor atomic.Int64
+	cursor.Store(1) // block 0 is reserved
+	states := make([]sweepState, c.cfg.Workers)
+	for i := range states {
+		states[i].batch = make([]heap.Addr, 0, freeBatchSize)
+	}
+	claim := func(st *sweepState) bool {
+		lo := int(cursor.Add(sweepChunkBlocks)) - sweepChunkBlocks
+		if lo >= nBlocks {
+			return false
+		}
+		hi := lo + sweepChunkBlocks
+		if hi > nBlocks {
+			hi = nBlocks
+		}
+		for b := lo; b < hi; b++ {
+			c.sweepBlockOne(b, full, aging, cc, ac, oldest, st)
+		}
+		return true
+	}
+
+	start := time.Now()
+	spill := false
+	for !spill && claim(&states[0]) {
+		if elapsed := time.Since(start); elapsed > sweepSpillLatency/8 {
+			done := cursor.Load() - 1
+			if done > int64(nBlocks) {
+				done = int64(nBlocks)
+			}
+			projected := time.Duration(float64(elapsed) * float64(nBlocks) / float64(done))
+			spill = projected-elapsed > sweepSpillLatency
+		}
+	}
+	if spill {
+		var wg sync.WaitGroup
+		for i := 1; i < c.activeWorkers(); i++ {
+			wg.Add(1)
+			go func(st *sweepState) {
+				defer wg.Done()
+				for claim(st) {
+				}
+			}(&states[i])
+		}
+		for claim(&states[0]) {
+		}
+		wg.Wait()
+	}
+
+	for i := range states {
+		st := &states[i]
+		st.flush(c)
+		c.cyc.ObjectsFreed += st.objectsFreed
+		c.cyc.BytesFreed += st.bytesFreed
+		c.cyc.Survivors += st.survivors
+		c.cyc.WorkerFreed[i] += st.objectsFreed
+	}
+}

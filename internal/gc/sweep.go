@@ -6,85 +6,116 @@ import "gengc/internal/heap"
 // returning them to the heap under one lock acquisition.
 const freeBatchSize = 256
 
-// sweep reclaims every clear-colored object (Figures 2 and 5). With the
-// color toggle there is nothing else to do in the simple algorithm:
-// black (old) objects stay black — that is the promotion — and
-// allocation-colored objects were created during the cycle and stay
-// untouched, playing the role of white in the next cycle.
+// sweepState accumulates one sweeper's reclamation results: the pending
+// free batch and the counters that are merged into the cycle record when
+// the sweeper finishes. With Workers == 1 there is a single state; the
+// sharded sweep gives each worker its own so no counter is contended.
+type sweepState struct {
+	batch        []heap.Addr
+	objectsFreed int
+	bytesFreed   int
+	survivors    int
+}
+
+// flush returns the batched dead cells to the heap under one heap-lock
+// acquisition.
+func (st *sweepState) flush(c *Collector) {
+	if len(st.batch) > 0 {
+		st.bytesFreed += c.H.FreeBatch(st.batch)
+		st.batch = st.batch[:0]
+	}
+}
+
+// sweepBlockOne reclaims the clear-colored objects of block b (Figures 2
+// and 5) into st. With the color toggle there is nothing else to do in
+// the simple algorithm: black (old) objects stay black — that is the
+// promotion — and allocation-colored objects were created during the
+// cycle and stay untouched, playing the role of white in the next cycle.
 //
 // The aging variant additionally walks the age table: reachable objects
 // younger than the tenure threshold are recolored with the allocation
 // color (so they remain collectible in the next partial collection) and
 // their age is incremented; objects at the threshold stay black.
+//
+// Distinct blocks hold distinct objects, so concurrent calls for
+// different blocks touch disjoint color/age entries and per-block hints;
+// the free batches go through the heap lock.
+func (c *Collector) sweepBlockOne(b int, full, aging bool, cc, ac heap.Color, oldest uint8, st *sweepState) {
+	if !full && c.H.AllBlackHint(b) {
+		// Entirely old block: it holds only black objects and
+		// has no free cells, so nothing in it can carry the
+		// clear color until a full collection recolors the
+		// heap. Partial sweeps skip it — this is what confines
+		// a partial collection's working set to the young
+		// generation (Figure 15).
+		return
+	}
+	allBlack := true
+	populated := false
+	c.H.ForEachObjectInBlock(b, func(addr heap.Addr) {
+		// The paper keeps the color in the object header, so
+		// examining an object during sweep touches its page;
+		// the page model charges that layout even though our
+		// colors live in an atomic side table.
+		c.H.Pages.TouchHeap(addr, 1)
+		col := c.H.Color(addr)
+		populated = true
+		if col != heap.Black || (aging && c.H.Age(addr) < oldest) {
+			allBlack = false
+		}
+		switch {
+		case col == cc:
+			// Dead: reclaim. Freeing writes the free-list
+			// link into the cell, touching its heap page.
+			c.H.Pages.TouchHeap(addr, heap.WordBytes)
+			st.objectsFreed++
+			st.batch = append(st.batch, addr)
+			if len(st.batch) >= freeBatchSize {
+				st.flush(c)
+			}
+		case aging && col != heap.Blue && addr != c.globals:
+			c.H.Pages.TouchAge(addr)
+			if age := c.H.Age(addr); age < oldest {
+				c.H.SetColor(addr, ac)
+				c.H.SetAge(addr, age+1)
+				if col == heap.Black && !full {
+					st.survivors++
+				}
+			}
+		}
+	})
+	if full || c.H.BlockClass(b) < 0 {
+		// Full sweeps recompute hints from scratch; non-small
+		// blocks (free or large-object) are never hinted.
+		c.H.SetAllBlackHint(b, false)
+	}
+	if populated && allBlack && c.H.BlockQuiet(b) {
+		c.H.SetAllBlackHint(b, true)
+	} else if populated || c.H.BlockClass(b) < 0 {
+		c.H.SetAllBlackHint(b, false)
+	}
+}
+
+// sweep reclaims every clear-colored object. With Workers == 1 it is the
+// paper's serial block walk; otherwise the block range is sharded across
+// the worker pool (parallel.go).
 func (c *Collector) sweep(full bool) {
+	if c.cfg.Workers > 1 {
+		c.sweepParallel(full)
+		return
+	}
 	cc := heap.Color(c.clearColor.Load())
 	ac := heap.Color(c.allocColor.Load())
 	aging := c.cfg.Mode == GenerationalAging
 	oldest := c.oldestAge()
 
-	batch := make([]heap.Addr, 0, freeBatchSize)
-	flush := func() {
-		if len(batch) > 0 {
-			c.cyc.BytesFreed += c.H.FreeBatch(batch)
-			batch = batch[:0]
-		}
-	}
-
+	st := &sweepState{batch: make([]heap.Addr, 0, freeBatchSize)}
 	nBlocks := c.H.NumBlocks()
 	for b := 1; b < nBlocks; b++ {
-		if !full && c.H.AllBlackHint(b) {
-			// Entirely old block: it holds only black objects and
-			// has no free cells, so nothing in it can carry the
-			// clear color until a full collection recolors the
-			// heap. Partial sweeps skip it — this is what confines
-			// a partial collection's working set to the young
-			// generation (Figure 15).
-			continue
-		}
-		allBlack := true
-		populated := false
-		c.H.ForEachObjectInBlock(b, func(addr heap.Addr) {
-			// The paper keeps the color in the object header, so
-			// examining an object during sweep touches its page;
-			// the page model charges that layout even though our
-			// colors live in an atomic side table.
-			c.H.Pages.TouchHeap(addr, 1)
-			col := c.H.Color(addr)
-			populated = true
-			if col != heap.Black || (aging && c.H.Age(addr) < oldest) {
-				allBlack = false
-			}
-			switch {
-			case col == cc:
-				// Dead: reclaim. Freeing writes the free-list
-				// link into the cell, touching its heap page.
-				c.H.Pages.TouchHeap(addr, heap.WordBytes)
-				c.cyc.ObjectsFreed++
-				batch = append(batch, addr)
-				if len(batch) >= freeBatchSize {
-					flush()
-				}
-			case aging && col != heap.Blue && addr != c.globals:
-				c.H.Pages.TouchAge(addr)
-				if age := c.H.Age(addr); age < oldest {
-					c.H.SetColor(addr, ac)
-					c.H.SetAge(addr, age+1)
-					if col == heap.Black && !full {
-						c.cyc.Survivors++
-					}
-				}
-			}
-		})
-		if full || c.H.BlockClass(b) < 0 {
-			// Full sweeps recompute hints from scratch; non-small
-			// blocks (free or large-object) are never hinted.
-			c.H.SetAllBlackHint(b, false)
-		}
-		if populated && allBlack && c.H.BlockQuiet(b) {
-			c.H.SetAllBlackHint(b, true)
-		} else if populated || c.H.BlockClass(b) < 0 {
-			c.H.SetAllBlackHint(b, false)
-		}
+		c.sweepBlockOne(b, full, aging, cc, ac, oldest, st)
 	}
-	flush()
+	st.flush(c)
+	c.cyc.ObjectsFreed += st.objectsFreed
+	c.cyc.BytesFreed += st.bytesFreed
+	c.cyc.Survivors += st.survivors
 }

@@ -1,6 +1,8 @@
 package gc
 
-import "gengc/internal/heap"
+import (
+	"gengc/internal/heap"
+)
 
 // collectorMarkGray shades a clear-colored object gray and pushes it on
 // the collector's mark stack. This is MarkGray as executed by the
@@ -94,6 +96,10 @@ func (c *Collector) collectBuffers() int {
 // the window, so the loop repeats; the counter is monotonic and bounded,
 // so the loop terminates.
 func (c *Collector) trace() {
+	if c.cfg.Workers > 1 {
+		c.traceParallel()
+		return
+	}
 	for {
 		c.drainStack()
 		if c.collectBuffers() > 0 {

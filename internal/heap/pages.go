@@ -1,5 +1,7 @@
 package heap
 
+import "sync/atomic"
+
 // PageBytes is the virtual-memory page size used for the Figure 15
 // "pages touched by the collector" measurements.
 const PageBytes = 4096
@@ -10,8 +12,12 @@ const PageBytes = 4096
 // mirroring the paper's note that the measurement includes "all the
 // tables the collector uses (such as the card table)".
 //
-// Only the collector thread writes a PageSet, so it needs no locking.
-// The regions are laid out as consecutive page ranges:
+// With a single collector thread only that thread writes the set; the
+// parallel trace and sweep touch it from several workers at once, so
+// the touched bits and the counter are atomic — the first toucher of a
+// page wins the CAS and pays the simulated memory cost, exactly one
+// charge per page per cycle. The regions are laid out as consecutive
+// page ranges:
 //
 //	[0, heapPages)                         heap data
 //	[heapPages, +colorPages)               color table (2 bits per granule,
@@ -26,8 +32,8 @@ type PageSet struct {
 	colorPages int
 	agePages   int
 	cardPages  int
-	touched    []bool
-	count      int
+	touched    []atomic.Bool
+	count      atomic.Int64
 
 	// CostSpins, when positive, charges the collector a busy-spin of
 	// this many iterations for every page first touched in a cycle.
@@ -38,7 +44,7 @@ type PageSet struct {
 	// cost a modern simulator's side tables are too cache-friendly
 	// for the locality benefit of generations to be visible.
 	CostSpins int
-	sink      uint64
+	sink      atomic.Uint64
 }
 
 // NewPageSet builds a page tracker for a heap of heapBytes with a card
@@ -50,23 +56,26 @@ func NewPageSet(heapBytes, nCards int) *PageSet {
 		agePages:   pages(heapBytes / Granule),
 		cardPages:  pages(nCards),
 	}
-	p.touched = make([]bool, p.heapPages+p.colorPages+p.agePages+p.cardPages)
+	p.touched = make([]atomic.Bool, p.heapPages+p.colorPages+p.agePages+p.cardPages)
 	return p
 }
 
 func pages(bytes int) int { return (bytes + PageBytes - 1) / PageBytes }
 
 func (p *PageSet) mark(page int) {
-	if !p.touched[page] {
-		p.touched[page] = true
-		p.count++
-		if p.CostSpins > 0 {
-			s := p.sink
-			for i := 0; i < p.CostSpins; i++ {
-				s = s*6364136223846793005 + 1442695040888963407
-			}
-			p.sink = s
+	if p.touched[page].Load() {
+		return
+	}
+	if !p.touched[page].CompareAndSwap(false, true) {
+		return // another worker touched it first and pays the cost
+	}
+	p.count.Add(1)
+	if p.CostSpins > 0 {
+		s := p.sink.Load()
+		for i := 0; i < p.CostSpins; i++ {
+			s = s*6364136223846793005 + 1442695040888963407
 		}
+		p.sink.Store(s)
 	}
 }
 
@@ -113,7 +122,7 @@ func (p *PageSet) Count() int {
 	if p == nil {
 		return 0
 	}
-	return p.count
+	return int(p.count.Load())
 }
 
 // Reset clears the set for the next collection cycle.
@@ -122,7 +131,7 @@ func (p *PageSet) Reset() {
 		return
 	}
 	for i := range p.touched {
-		p.touched[i] = false
+		p.touched[i].Store(false)
 	}
-	p.count = 0
+	p.count.Store(0)
 }

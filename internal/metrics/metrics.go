@@ -37,6 +37,12 @@ type Cycle struct {
 	// write barrier also shades allocation-colored objects (§7.1).
 	HandshakeTime time.Duration
 
+	// TraceTime and SweepTime split the concurrent phases of the
+	// cycle: the trace-to-fixpoint span (drains plus acknowledgement
+	// rounds) and the sweep span (including empty-block reclamation).
+	TraceTime time.Duration
+	SweepTime time.Duration
+
 	// Trace work.
 	ObjectsScanned int // objects blackened by the trace
 	SlotsScanned   int // pointer slots examined by the trace
@@ -56,15 +62,43 @@ type Cycle struct {
 	// Pages touched by the collector during the cycle (Figure 15);
 	// zero when page tracking is off.
 	PagesTouched int
+
+	// Parallel-collector counters. Workers is the configured worker
+	// count (1 = the paper's single collector thread); the per-worker
+	// slices and the steal count are populated only when Workers > 1.
+	Workers       int
+	Steals        int   // work-stealing transfers during the trace
+	WorkerScanned []int // objects blackened, by trace worker
+	WorkerFreed   []int // objects freed, by sweep worker
+}
+
+// TraceEfficiency reports how evenly the trace work spread over the
+// workers: scanned / (workers × busiest worker's scanned), 1.0 being a
+// perfect split. Zero when the cycle ran serially or scanned nothing.
+func (c Cycle) TraceEfficiency() float64 {
+	if c.Workers <= 1 || len(c.WorkerScanned) == 0 {
+		return 0
+	}
+	max := 0
+	for _, n := range c.WorkerScanned {
+		if n > max {
+			max = n
+		}
+	}
+	if max == 0 {
+		return 0
+	}
+	return float64(c.ObjectsScanned) / float64(c.Workers*max)
 }
 
 // Recorder accumulates cycle records and aggregate statistics. The
 // collector goroutine is the only writer; readers take the mutex.
 type Recorder struct {
-	mu     sync.Mutex
-	start  time.Time
-	cycles []Cycle
-	gcTime time.Duration
+	mu       sync.Mutex
+	start    time.Time
+	cycles   []Cycle
+	gcTime   time.Duration
+	onRecord func(Cycle)
 }
 
 // NewRecorder starts a recorder; the start time anchors the
@@ -73,13 +107,28 @@ func NewRecorder() *Recorder {
 	return &Recorder{start: time.Now()}
 }
 
-// Record appends one finished cycle.
+// Record appends one finished cycle and invokes the OnRecord observer,
+// if any, outside the recorder lock.
 func (r *Recorder) Record(c Cycle) {
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	c.Seq = len(r.cycles) + 1
 	r.cycles = append(r.cycles, c)
 	r.gcTime += c.Duration
+	fn := r.onRecord
+	r.mu.Unlock()
+	if fn != nil {
+		fn(c)
+	}
+}
+
+// OnRecord registers fn to be called with every finished cycle record,
+// from the collector goroutine, as it is recorded. A nil fn removes the
+// observer. The callback must not block: the collector does not start
+// the next cycle until it returns.
+func (r *Recorder) OnRecord(fn func(Cycle)) {
+	r.mu.Lock()
+	r.onRecord = fn
+	r.mu.Unlock()
 }
 
 // Cycles returns a copy of all recorded cycles.
@@ -121,6 +170,13 @@ type Summary struct {
 	PctBytesFreedPartial float64
 	AvgDirtyCardPct      float64 // Figure 22 (partials only)
 	AvgAreaScanned       float64 // Figure 23 (partials only)
+
+	// Parallel-collector aggregates; zero when every cycle ran with a
+	// single worker. Efficiency is the mean per-cycle
+	// TraceEfficiency over cycles that scanned anything in parallel.
+	AvgSteals          float64
+	AvgTraceEfficiency float64
+	ParallelCycles     int
 }
 
 // Summarize computes the aggregates at the end of a run. elapsed is the
@@ -141,10 +197,20 @@ func (r *Recorder) Summarize(elapsed time.Duration) Summary {
 		sweptP, sweptF, dirtyPct, area                 float64
 		nP, nF                                         int
 	)
+	var steals, traceEff float64
+	var nPar, nParEff int
 	for _, c := range r.cycles {
 		s.ObjectsFreed += int64(c.ObjectsFreed)
 		s.BytesFreed += int64(c.BytesFreed)
 		s.ObjectsScanned += int64(c.ObjectsScanned)
+		if c.Workers > 1 {
+			nPar++
+			steals += float64(c.Steals)
+			if eff := c.TraceEfficiency(); eff > 0 {
+				traceEff += eff
+				nParEff++
+			}
+		}
 		switch c.Kind {
 		case Partial:
 			nP++
@@ -168,6 +234,13 @@ func (r *Recorder) Summarize(elapsed time.Duration) Summary {
 			pagesF += float64(c.PagesTouched)
 			sweptF += float64(c.Survivors)
 		}
+	}
+	s.ParallelCycles = nPar
+	if nPar > 0 {
+		s.AvgSteals = steals / float64(nPar)
+	}
+	if nParEff > 0 {
+		s.AvgTraceEfficiency = traceEff / float64(nParEff)
 	}
 	s.NumPartial, s.NumFull = nP, nF
 	if nP > 0 {

@@ -11,7 +11,7 @@ import (
 // tests of the engine's mechanics.
 func newTestRunner(t *testing.T, p Profile) (*runner, *gengc.Runtime) {
 	t.Helper()
-	rt, err := gengc.NewManual(gengc.Config{Mode: gengc.Generational, HeapBytes: 32 << 20})
+	rt, err := gengc.NewManual(gengc.WithMode(gengc.Generational), gengc.WithHeapBytes(32<<20))
 	if err != nil {
 		t.Fatal(err)
 	}

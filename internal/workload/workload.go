@@ -162,13 +162,32 @@ type Result struct {
 	Census heap.Stats
 }
 
+// RunOption adjusts how Run drives a profile, beyond the collector
+// configuration.
+type RunOption func(*runOptions)
+
+type runOptions struct {
+	onCycle func(metrics.Cycle)
+}
+
+// OnCycle streams every collection's record to fn as the cycle
+// completes (see gengc.Runtime.OnCycle); fn runs on the collector
+// goroutine and must not block.
+func OnCycle(fn func(metrics.Cycle)) RunOption {
+	return func(o *runOptions) { o.onCycle = fn }
+}
+
 // Run executes the profile against a fresh runtime built from cfg and
 // returns the measurements. The runtime is closed before returning; the
 // summary's elapsed time covers only the mutator work (start of threads
 // to completion of the last), matching the paper's elapsed-time metric.
-func Run(p Profile, cfg gengc.Config, seed int64) (Result, error) {
+func Run(p Profile, cfg gengc.Config, seed int64, opts ...RunOption) (Result, error) {
 	if err := p.Validate(); err != nil {
 		return Result{}, err
+	}
+	var ro runOptions
+	for _, opt := range opts {
+		opt(&ro)
 	}
 	// The host Go runtime's own collector would inject pauses into
 	// the measurement; disable it for the duration of the run and
@@ -180,11 +199,14 @@ func Run(p Profile, cfg gengc.Config, seed int64) (Result, error) {
 		runtime.GC()
 	}()
 
-	rt, err := gengc.New(cfg)
+	rt, err := gengc.New(gengc.WithConfig(cfg))
 	if err != nil {
 		return Result{}, err
 	}
 	defer rt.Close()
+	if ro.onCycle != nil {
+		rt.OnCycle(ro.onCycle)
+	}
 
 	var (
 		wg       sync.WaitGroup

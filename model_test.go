@@ -25,7 +25,7 @@ type model struct {
 
 func newModel(t *testing.T, mode Mode) *model {
 	t.Helper()
-	rt, err := NewManual(Config{Mode: mode, HeapBytes: 16 << 20, YoungBytes: 1 << 20, OldAge: 2})
+	rt, err := NewManual(WithMode(mode), WithHeapBytes(16<<20), WithYoungBytes(1<<20), WithOldAge(2))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -234,7 +234,7 @@ func TestModelOracle(t *testing.T) {
 func TestModelOracleToggleFree(t *testing.T) {
 	rtCfg := Config{Mode: NonGenerational, HeapBytes: 16 << 20,
 		YoungBytes: 1 << 20, DisableColorToggle: true}
-	rt, err := NewManual(rtCfg)
+	rt, err := NewManual(WithConfig(rtCfg))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,126 @@
+package gengc
+
+import "io"
+
+// Option configures a Runtime under construction. Options apply in
+// order over the paper's defaults (32 MB heap, 4 MB young generation,
+// 16-byte cards, simple promotion, one collector worker), so later
+// options override earlier ones and WithConfig can seed the whole
+// configuration before per-field options refine it.
+type Option func(*Config)
+
+// WithConfig replaces the entire configuration with cfg. It is the
+// bridge from the previous struct-literal API: New(WithConfig(cfg)) is
+// equivalent to the old New(cfg). Options after it still apply.
+func WithConfig(cfg Config) Option {
+	return func(c *Config) { *c = cfg }
+}
+
+// WithMode selects the collector variant (NonGenerational,
+// Generational, GenerationalAging).
+func WithMode(m Mode) Option {
+	return func(c *Config) { c.Mode = m }
+}
+
+// WithHeapBytes sets the heap size; the paper's maximum is 32 MB.
+func WithHeapBytes(n int) Option {
+	return func(c *Config) { c.HeapBytes = n }
+}
+
+// WithYoungBytes sets the young-generation size parameter (§3.3): a
+// partial collection triggers once this many bytes have been allocated
+// since the previous collection.
+func WithYoungBytes(n int) Option {
+	return func(c *Config) { c.YoungBytes = n }
+}
+
+// WithCardBytes sets the card size: 16 is the paper's "object marking",
+// 4096 its "block marking".
+func WithCardBytes(n int) Option {
+	return func(c *Config) { c.CardBytes = n }
+}
+
+// WithWorkers sets the number of collector worker goroutines used for
+// the trace and sweep phases. 1 (the default) is the paper's single
+// collector thread; higher values parallelize the collector with
+// work-stealing tracing and a sharded sweep while preserving the
+// on-the-fly property.
+func WithWorkers(n int) Option {
+	return func(c *Config) { c.Workers = n }
+}
+
+// WithOldAge sets the aging tenure threshold (GenerationalAging only):
+// the number of collections an object must survive before promotion.
+func WithOldAge(n int) Option {
+	return func(c *Config) { c.OldAge = n }
+}
+
+// WithFullThreshold caps the adaptive full-collection target at this
+// fraction of the heap (§3.3's "heap is almost full").
+func WithFullThreshold(f float64) Option {
+	return func(c *Config) { c.FullThreshold = f }
+}
+
+// WithInitialTargetBytes sets the starting point of the adaptive
+// full-collection target (the paper's heap grows from 1 MB on demand).
+func WithInitialTargetBytes(n int) Option {
+	return func(c *Config) { c.InitialTargetBytes = n }
+}
+
+// WithHeadroomBytes sets the allocation headroom above the live set at
+// which the next full collection triggers.
+func WithHeadroomBytes(n int) Option {
+	return func(c *Config) { c.HeadroomBytes = n }
+}
+
+// WithGlobalRootSlots sets the number of global (class-static-like)
+// root slots.
+func WithGlobalRootSlots(n int) Option {
+	return func(c *Config) { c.GlobalRootSlots = n }
+}
+
+// WithRememberedSet replaces card marking with a remembered set for
+// inter-generational pointers (§3.1's alternative; Generational only).
+func WithRememberedSet(on bool) Option {
+	return func(c *Config) { c.UseRememberedSet = on }
+}
+
+// WithDynamicTenure makes the aging tenure threshold self-adjusting
+// (GenerationalAging only).
+func WithDynamicTenure(on bool) Option {
+	return func(c *Config) { c.DynamicTenure = on }
+}
+
+// WithDisableColorToggle runs the baseline with the original §2 DLG
+// create protocol instead of the Remark 5.1 color toggle
+// (NonGenerational only; exists for the ablation).
+func WithDisableColorToggle(on bool) Option {
+	return func(c *Config) { c.DisableColorToggle = on }
+}
+
+// WithPageTracking enables the Figure 15 pages-touched instrumentation.
+func WithPageTracking(on bool) Option {
+	return func(c *Config) { c.TrackPages = on }
+}
+
+// WithPageCostSpins charges the collector a busy-spin per first-touched
+// page per cycle, reintroducing the memory-hierarchy cost of the
+// paper's hardware (implies page tracking).
+func WithPageCostSpins(n int) Option {
+	return func(c *Config) { c.PageCostSpins = n }
+}
+
+// WithLog directs one log line per collection cycle to w.
+func WithLog(w io.Writer) Option {
+	return func(c *Config) { c.Log = w }
+}
+
+// buildConfig folds the options over a zero Config (whose zero fields
+// later assume the paper's defaults).
+func buildConfig(opts []Option) Config {
+	var cfg Config
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	return cfg
+}

@@ -11,10 +11,7 @@ func TestSmokeAllModes(t *testing.T) {
 	for _, mode := range []Mode{NonGenerational, Generational, GenerationalAging} {
 		mode := mode
 		t.Run(mode.String(), func(t *testing.T) {
-			rt, err := NewManual(Config{
-				Mode:      mode,
-				HeapBytes: 4 << 20,
-			})
+			rt, err := NewManual(WithMode(mode), WithHeapBytes(4<<20))
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -110,7 +107,7 @@ func TestSmokeAllModes(t *testing.T) {
 // reclaim young garbage created before the previous cycle's trace...
 // but does reclaim garbage made young again by the toggle.
 func TestPartialCollectionPromotes(t *testing.T) {
-	rt, err := NewManual(Config{Mode: Generational, HeapBytes: 4 << 20})
+	rt, err := NewManual(WithMode(Generational), WithHeapBytes(4<<20))
 	if err != nil {
 		t.Fatal(err)
 	}

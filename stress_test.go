@@ -90,7 +90,7 @@ func TestStressConcurrent(t *testing.T) {
 	for _, mode := range []Mode{NonGenerational, Generational, GenerationalAging} {
 		mode := mode
 		t.Run(mode.String(), func(t *testing.T) {
-			rt, err := New(Config{
+			rt, err := New(WithConfig(Config{
 				Mode:       mode,
 				HeapBytes:  8 << 20,
 				YoungBytes: 1 << 20,
@@ -98,7 +98,7 @@ func TestStressConcurrent(t *testing.T) {
 				// Low enough that the workload's ~5 MB allocation
 				// volume crosses it even in non-generational mode.
 				FullThreshold: 0.3,
-			})
+			}))
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -142,12 +142,8 @@ func TestStressManyCollections(t *testing.T) {
 	for _, mode := range []Mode{Generational, GenerationalAging} {
 		mode := mode
 		t.Run(mode.String(), func(t *testing.T) {
-			rt, err := New(Config{
-				Mode:       mode,
-				HeapBytes:  8 << 20,
-				YoungBytes: 64 << 10,
-				OldAge:     3,
-			})
+			rt, err := New(WithMode(mode), WithHeapBytes(8<<20),
+				WithYoungBytes(64<<10), WithOldAge(3))
 			if err != nil {
 				t.Fatal(err)
 			}
