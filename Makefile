@@ -1,10 +1,19 @@
 GO ?= go
 
-.PHONY: all vet build test race bench check
+.PHONY: all vet lint build test race bench trace-verify check
 
 all: check
 
 vet:
+	$(GO) vet ./...
+
+# lint fails on unformatted files (gofmt prints nothing when clean) and
+# runs go vet.
+lint:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
 	$(GO) vet ./...
 
 build:
@@ -22,4 +31,17 @@ race:
 bench:
 	$(GO) test -run XXX -bench . -benchtime 1x ./...
 
-check: vet build test race
+# trace-verify round-trips the observability pipeline end to end: run a
+# small traced workload, then require gcreport to parse the JSONL and
+# render the pause CDF and phase breakdown from it.
+trace-verify:
+	@tmp=$$(mktemp -d) && rc=0; \
+	{ $(GO) run ./cmd/gctrace -profile Anagram -scale 0.05 -trace $$tmp/trace.jsonl >/dev/null 2>&1 \
+	  && $(GO) run ./cmd/gcreport $$tmp/trace.jsonl > $$tmp/report.txt \
+	  && grep -q 'Pause-time CDF' $$tmp/report.txt \
+	  && grep -q 'Cycle phase breakdown' $$tmp/report.txt \
+	  && echo "trace-verify: OK ($$(wc -l < $$tmp/trace.jsonl | tr -d ' ') events)"; } \
+	|| { rc=$$?; echo "trace-verify: FAILED"; cat $$tmp/report.txt 2>/dev/null; }; \
+	rm -rf $$tmp; exit $$rc
+
+check: lint build test race trace-verify

@@ -22,6 +22,7 @@ import (
 	"runtime"
 	"time"
 
+	"gengc"
 	"gengc/internal/bench"
 )
 
@@ -33,6 +34,7 @@ func main() {
 		seed       = flag.Int64("seed", 0, "workload random seed (0 = default)")
 		gcworkers  = flag.Int("gcworkers", 1, "parallel collector workers (1 = the paper's single collector thread)")
 		out        = flag.String("o", "", "also write results to this file")
+		traceOut   = flag.String("trace", "", "write a JSONL event trace of every run to this file (render with gcreport)")
 		csv        = flag.Bool("csv", false, "emit tables as CSV instead of aligned text")
 		quiet      = flag.Bool("q", false, "suppress per-run progress")
 	)
@@ -53,6 +55,17 @@ func main() {
 	if !*quiet {
 		opts.Progress = os.Stderr
 	}
+	var sink *gengc.JSONLTraceSink
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		sink = gengc.NewJSONLTraceSink(f)
+		opts.TraceSink = sink
+	}
 
 	fmt.Fprintf(w, "gcbench: scale=%v repeats=%d gcworkers=%d GOMAXPROCS=%d NumCPU=%d\n\n",
 		*scale, *repeats, *gcworkers, runtime.GOMAXPROCS(0), runtime.NumCPU())
@@ -60,6 +73,14 @@ func main() {
 	if err := run(w, opts, *experiment, *csv); err != nil {
 		fmt.Fprintln(os.Stderr, "gcbench:", err)
 		os.Exit(1)
+	}
+	if sink != nil {
+		if err := sink.Err(); err != nil {
+			fmt.Fprintln(os.Stderr, "gcbench: writing trace:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "trace written to %s (render with: gcreport %s)\n",
+			*traceOut, *traceOut)
 	}
 	fmt.Fprintf(w, "total experiment time: %v\n", time.Since(start).Round(time.Second))
 }

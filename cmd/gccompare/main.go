@@ -72,7 +72,9 @@ func main() {
 				ds = append(ds, res.Elapsed)
 				if r == *repeats/2 {
 					s := res.Summary
-					stats[mi] = fmt.Sprintf("%dp/%df gc%%=%.0f", s.NumPartial, s.NumFull, s.GCActivePct)
+					stats[mi] = fmt.Sprintf("%dp/%df gc%%=%.0f maxpause=%v",
+						s.NumPartial, s.NumFull, s.GCActivePct,
+						res.Pauses.Max.Round(time.Microsecond))
 				}
 			}
 			med[mi] = median(ds)

@@ -45,6 +45,7 @@ func main() {
 		dynTenure   = flag.Bool("dyntenure", false, "use the dynamic tenuring policy")
 		globalSlots = flag.Int("globals", 64, "global root slots exercised")
 		workers     = flag.Int("workers", 1, "parallel collector workers")
+		traceOut    = flag.String("trace", "", "write a JSONL event trace to this file (render with gcreport)")
 	)
 	flag.Parse()
 
@@ -52,16 +53,27 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	rt, err := gengc.New(
+	opts := []gengc.Option{
 		gengc.WithMode(mode),
-		gengc.WithHeapBytes(*heapMB<<20),
-		gengc.WithYoungBytes(*youngKB<<10),
+		gengc.WithHeapBytes(*heapMB << 20),
+		gengc.WithYoungBytes(*youngKB << 10),
 		gengc.WithCardBytes(*cardBytes),
 		gengc.WithOldAge(*oldAge),
 		gengc.WithRememberedSet(*remset),
 		gengc.WithDynamicTenure(*dynTenure),
 		gengc.WithWorkers(*workers),
-	)
+	}
+	var sink *gengc.JSONLTraceSink
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close() // after rt.Close's final flush (defers run LIFO)
+		sink = gengc.NewJSONLTraceSink(f)
+		opts = append(opts, gengc.WithTraceSink(sink))
+	}
+	rt, err := gengc.New(opts...)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -103,6 +115,19 @@ func main() {
 		st := rt.Stats()
 		fmt.Printf("round %d ok: %d cycles (%d full), %d objects freed, heap %d KB\n",
 			round+1, st.NumCycles, st.NumFull, st.ObjectsFreed, rt.HeapBytes()/1024)
+	}
+	rt.Close() // idempotent; flushes the final trace events before the sink check
+	if snap := rt.Snapshot(); snap.Fleet.Count > 0 {
+		fmt.Printf("mutator pauses: %d recorded, p50=%v p99=%v p99.9=%v max=%v\n",
+			snap.Fleet.Count, snap.Fleet.P50, snap.Fleet.P99,
+			snap.Fleet.P999, snap.Fleet.Max)
+	}
+	if sink != nil {
+		if err := sink.Err(); err != nil {
+			log.Fatalf("writing trace: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "trace written to %s (render with: gcreport %s)\n",
+			*traceOut, *traceOut)
 	}
 	fmt.Printf("PASS in %v\n", time.Since(start).Round(time.Millisecond))
 }

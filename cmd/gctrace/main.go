@@ -29,6 +29,7 @@ func main() {
 		pageCost = flag.Int("pagecost", 0, "simulated memory cost per page touch (spins)")
 		workers  = flag.Int("workers", 1, "parallel collector workers")
 		seed     = flag.Int64("seed", 42, "workload seed")
+		traceOut = flag.String("trace", "", "write a JSONL event trace to this file (render with gcreport)")
 		list     = flag.Bool("list", false, "list profiles and exit")
 	)
 	flag.Parse()
@@ -75,6 +76,18 @@ func main() {
 		fmt.Fprintln(os.Stderr, line)
 	}
 
+	ropts := []workload.RunOption{workload.OnCycle(streamCycle)}
+	var sink *gengc.JSONLTraceSink
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		sink = gengc.NewJSONLTraceSink(f)
+		ropts = append(ropts, workload.TraceTo(sink))
+	}
+
 	res, err := workload.Run(p, gengc.Config{
 		Mode:          mode,
 		CardBytes:     *cardSize,
@@ -83,9 +96,16 @@ func main() {
 		Workers:       *workers,
 		TrackPages:    true,
 		PageCostSpins: *pageCost,
-	}, *seed, workload.OnCycle(streamCycle))
+	}, *seed, ropts...)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if sink != nil {
+		if err := sink.Err(); err != nil {
+			log.Fatalf("writing trace: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "trace written to %s (render with: gcreport %s)\n",
+			*traceOut, *traceOut)
 	}
 
 	s := res.Summary
@@ -106,6 +126,10 @@ func main() {
 		fmt.Printf("per full: %.0f objects scanned, %.0f freed, %.0f pages, %.1f ms\n",
 			s.AvgScannedFull, s.AvgFreedObjsFull, s.AvgPagesFull,
 			s.AvgTimeFull.Seconds()*1000)
+	}
+	if pp := res.Pauses; pp.Count > 0 {
+		fmt.Printf("mutator pauses: %d recorded, p50=%v p99=%v p99.9=%v max=%v\n",
+			pp.Count, pp.P50, pp.P99, pp.P999, pp.Max)
 	}
 	// Final heap census (quiescent: the workload has completed; the
 	// final in-flight collection usually empties the heap of all but

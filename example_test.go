@@ -1,7 +1,11 @@
 package gengc_test
 
 import (
+	"bytes"
+	"encoding/json"
 	"fmt"
+	"strings"
+	"time"
 
 	"gengc"
 )
@@ -64,6 +68,88 @@ func ExampleWithConfig() {
 	fmt.Println(cfg.Mode)
 	// Output:
 	// generational
+}
+
+// ExampleRuntime_OnCycle streams every collection's record as it
+// completes — the push-based alternative to polling Cycles, used by
+// cmd/gctrace's live event log.
+func ExampleRuntime_OnCycle() {
+	rt, err := gengc.NewManual(gengc.WithMode(gengc.Generational))
+	if err != nil {
+		panic(err)
+	}
+	defer rt.Close()
+
+	// The callback runs on the collector goroutine: it must not block
+	// or trigger collections. Here it feeds a channel the test drains.
+	kinds := make(chan string, 8)
+	rt.OnCycle(func(c gengc.CycleRecord) { kinds <- c.Kind.String() })
+
+	m := rt.NewMutator()
+	defer m.Detach()
+	m.PushRoot(m.MustAlloc(1, 0))
+	m.Collect(false)
+	m.Collect(true)
+	fmt.Println(<-kinds, <-kinds)
+	// Output:
+	// partial full
+}
+
+// ExampleRuntime_Snapshot polls the runtime's observability surface:
+// collection counts, heap occupancy, and the per-mutator pause
+// statistics that quantify the paper's "mutators are never stopped"
+// property.
+func ExampleRuntime_Snapshot() {
+	rt, err := gengc.NewManual(gengc.WithMode(gengc.Generational))
+	if err != nil {
+		panic(err)
+	}
+	defer rt.Close()
+	m := rt.NewMutator()
+	defer m.Detach()
+	root := m.PushRoot(gengc.Nil)
+	for i := 0; i < 1000; i++ {
+		m.SetRoot(root, m.MustAlloc(1, 64))
+	}
+	m.Collect(true) // cooperating with the handshakes records pauses
+
+	snap := rt.Snapshot()
+	fmt.Println("cycles:", snap.Cycles)
+	fmt.Println("pauses recorded:", snap.Fleet.Count > 0)
+	fmt.Println("max pause under a second:", snap.Fleet.Max < time.Second)
+	// Output:
+	// cycles: 1
+	// pauses recorded: true
+	// max pause under a second: true
+}
+
+// ExampleWithTraceSink streams the collector's structured events to a
+// JSONL file that cmd/gcreport renders into pause and phase figures.
+func ExampleWithTraceSink() {
+	var buf bytes.Buffer
+	sink := gengc.NewJSONLTraceSink(&buf)
+	rt, err := gengc.NewManual(
+		gengc.WithMode(gengc.Generational),
+		gengc.WithTraceSink(sink),
+	)
+	if err != nil {
+		panic(err)
+	}
+	m := rt.NewMutator()
+	m.PushRoot(m.MustAlloc(1, 0))
+	m.Collect(false)
+	m.Detach()
+	rt.Close() // flushes the final events into the sink
+
+	var first gengc.TraceEvent
+	if err := json.Unmarshal([]byte(strings.SplitN(buf.String(), "\n", 2)[0]), &first); err != nil {
+		panic(err)
+	}
+	fmt.Println("first event:", first.Ev)
+	fmt.Println("wrote events:", strings.Count(buf.String(), "\n") > 5)
+	// Output:
+	// first event: start
+	// wrote events: true
 }
 
 // ExampleRuntime_Verify shows the built-in heap audit used throughout

@@ -38,12 +38,28 @@
 // handshakes wait for every attached mutator, so a mutator that stops
 // calling Safepoint stalls collections. Allocation and the Collect
 // helper also act as safe points.
+//
+// # Observability
+//
+// The runtime measures itself at three granularities: per-collection
+// records (Cycles, or streamed with OnCycle), per-mutator pause
+// histograms behind Snapshot (the quantified version of the paper's
+// "mutators are never stopped" property, also exportable with
+// PublishExpvar), and a structured event trace behind WithTraceSink —
+// timestamped spans for every cycle phase and every mutator pause,
+// rendered into paper-style figures by cmd/gcreport. OBSERVABILITY.md
+// maps each surface onto the paper's Figures 10–23.
 package gengc
 
 import (
+	"expvar"
+	"fmt"
+	"io"
+
 	"gengc/internal/gc"
 	"gengc/internal/heap"
 	"gengc/internal/metrics"
+	"gengc/internal/trace"
 )
 
 // Ref is a reference to a heap object. The zero value Nil refers to no
@@ -76,6 +92,34 @@ type Config = gc.Config
 // CycleRecord is the per-collection record passed to OnCycle observers
 // and returned by Cycles.
 type CycleRecord = metrics.Cycle
+
+// TraceEvent is one structured collector event: a timestamped span
+// (cycle, handshake round, trace drain, sweep shard, card scan) or a
+// mutator pause, as delivered to a TraceSink. See the trace package's
+// Event documentation for the kind table, and OBSERVABILITY.md for the
+// event ↔ paper-figure map.
+type TraceEvent = trace.Event
+
+// TraceSink receives the collector's structured event stream (see
+// WithTraceSink). The collector serializes all Emit and Flush calls, so
+// implementations need no locking unless shared between runtimes.
+type TraceSink = trace.Sink
+
+// JSONLTraceSink is a TraceSink that writes one JSON object per event —
+// the interchange format consumed by cmd/gcreport.
+type JSONLTraceSink = trace.JSONLSink
+
+// NewJSONLTraceSink returns a buffered TraceSink writing JSON Lines to
+// w. Close the runtime before reading the output: the final events are
+// flushed by Runtime.Close. Check the sink's Err method after the run.
+func NewJSONLTraceSink(w io.Writer) *JSONLTraceSink { return trace.NewJSONLSink(w) }
+
+// PauseStats summarizes one pause histogram: the count, total and the
+// p50/p90/p99/p99.9/max quantiles of the mutator-visible delays the
+// on-the-fly collector imposes (handshake responses, root marking,
+// acknowledgement rounds, allocation stalls). Mutator is the mutator id,
+// or -1 for the fleet-wide aggregate.
+type PauseStats = metrics.PauseStats
 
 // Runtime owns one heap and its collector — the analogue of one JVM
 // instance in the paper's experiments.
@@ -132,6 +176,50 @@ func (r *Runtime) Cycles() []CycleRecord { return r.c.Metrics().Cycles() }
 // must not block (the next cycle waits for it) and must not trigger
 // collections. A nil fn removes the observer; there is at most one.
 func (r *Runtime) OnCycle(fn func(CycleRecord)) { r.c.Metrics().OnRecord(fn) }
+
+// Snapshot is a point-in-time view of the runtime's progress and pause
+// behavior, cheap enough to poll: collection counts, heap occupancy,
+// and the pause statistics of every attached mutator plus the
+// fleet-wide aggregate (which also covers detached mutators).
+type Snapshot struct {
+	Cycles      int64 // completed collection cycles (partial + full)
+	Fulls       int64 // completed full collections
+	HeapBytes   int64 // allocated bytes (live + floating garbage)
+	HeapObjects int64 // allocated objects
+
+	// Fleet aggregates every pause ever recorded (Mutator == -1);
+	// Mutators holds one entry per currently attached mutator. Both are
+	// zero-valued when pause accounting is off (WithPauseHistograms).
+	Fleet    PauseStats
+	Mutators []PauseStats
+}
+
+// Snapshot captures the current Snapshot. Safe to call at any time,
+// from any goroutine, including while mutators and the collector run.
+func (r *Runtime) Snapshot() Snapshot {
+	fleet, per := r.c.PauseStats()
+	return Snapshot{
+		Cycles:      r.c.CyclesDone(),
+		Fulls:       r.c.FullsDone(),
+		HeapBytes:   r.c.H.AllocatedBytes(),
+		HeapObjects: r.c.H.AllocatedObjects(),
+		Fleet:       fleet,
+		Mutators:    per,
+	}
+}
+
+// PublishExpvar exposes the runtime's Snapshot under name in the
+// process-wide expvar registry (so it shows up on /debug/vars). It
+// fails if name is already published — expvar registrations cannot be
+// removed, so each runtime needs its own name and the variable outlives
+// the runtime (it keeps reporting the final state after Close).
+func (r *Runtime) PublishExpvar(name string) error {
+	if expvar.Get(name) != nil {
+		return fmt.Errorf("gengc: expvar %q already published", name)
+	}
+	expvar.Publish(name, expvar.Func(func() any { return r.Snapshot() }))
+	return nil
+}
 
 // HeapBytes returns the currently allocated bytes (live plus floating
 // garbage).

@@ -39,6 +39,12 @@ type Options struct {
 	// paper's single collector thread).
 	Workers int
 
+	// TraceSink, when non-nil, receives every run's structured
+	// collector events (concatenated; each run opens with a "start"
+	// boundary event). Feed a gengc.NewJSONLTraceSink and render the
+	// output with cmd/gcreport.
+	TraceSink gengc.TraceSink
+
 	// Progress, when non-nil, receives one line per run.
 	Progress io.Writer
 }
@@ -90,10 +96,14 @@ func (o Options) config(mode gengc.Mode, youngBytes, cardBytes, oldAge int) geng
 // median elapsed duration.
 func (o Options) runAveraged(p workload.Profile, cfg gengc.Config) (workload.Result, time.Duration, error) {
 	p = p.Scale(o.Scale)
+	var ropts []workload.RunOption
+	if o.TraceSink != nil {
+		ropts = append(ropts, workload.TraceTo(o.TraceSink))
+	}
 	results := make([]workload.Result, 0, o.Repeats)
 	var sum time.Duration
 	for r := 0; r < o.Repeats; r++ {
-		res, err := workload.Run(p, cfg, o.Seed+int64(r)*104729)
+		res, err := workload.Run(p, cfg, o.Seed+int64(r)*104729, ropts...)
 		if err != nil {
 			return workload.Result{}, 0, err
 		}

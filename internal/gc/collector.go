@@ -9,6 +9,7 @@ import (
 	"gengc/internal/card"
 	"gengc/internal/heap"
 	"gengc/internal/metrics"
+	"gengc/internal/trace"
 )
 
 // Status is a mutator/collector handshake status. The collection cycle
@@ -144,6 +145,16 @@ type Collector struct {
 	// synchronous CollectNow calls from tests and the OOM path).
 	cycleMu sync.Mutex
 
+	// tracer and ring are the structured-event layer (nil without a
+	// configured TraceSink); ring is the collector goroutine's own
+	// event buffer, workers and mutators get their own (observe.go).
+	tracer *trace.Tracer
+	ring   *trace.Ring
+
+	// retired accumulates the pause histograms of detached mutators so
+	// fleet-wide pause statistics cover the runtime's whole history.
+	retired *metrics.Histogram
+
 	stopCh  chan struct{}
 	doneCh  chan struct{}
 	started atomic.Bool
@@ -165,7 +176,12 @@ func New(cfg Config) (*Collector, error) {
 	if err != nil {
 		return nil, err
 	}
-	c := &Collector{H: h, Cards: ct, cfg: cfg, rec: metrics.NewRecorder()}
+	c := &Collector{H: h, Cards: ct, cfg: cfg, rec: metrics.NewRecorder(),
+		retired: &metrics.Histogram{}}
+	if cfg.TraceSink != nil {
+		c.tracer = trace.New(cfg.TraceSink)
+		c.ring = c.tracer.NewRing()
+	}
 	if cfg.TrackPages || cfg.PageCostSpins > 0 {
 		h.Pages = heap.NewPageSet(h.SizeBytes, ct.NumCards())
 		h.Pages.CostSpins = cfg.PageCostSpins
@@ -227,18 +243,20 @@ func (c *Collector) Start() {
 }
 
 // Stop terminates the background collector goroutine (after any cycle in
-// progress completes). It is idempotent.
+// progress completes) and performs the final trace flush. It is
+// idempotent.
 func (c *Collector) Stop() {
-	if !c.started.Load() {
-		return
+	if c.started.Load() {
+		select {
+		case <-c.stopCh:
+		default:
+			close(c.stopCh)
+		}
+		<-c.doneCh
 	}
-	select {
-	case <-c.stopCh:
-		return
-	default:
-		close(c.stopCh)
+	if c.tracer != nil {
+		c.tracer.Close()
 	}
-	<-c.doneCh
 }
 
 // run is the collector goroutine: it waits for a trigger and runs one

@@ -18,6 +18,7 @@ import (
 	"io"
 
 	"gengc/internal/card"
+	"gengc/internal/trace"
 )
 
 // ErrInvalidConfig is wrapped by every configuration-validation failure,
@@ -165,6 +166,21 @@ type Config struct {
 
 	// Log, when non-nil, receives one line per collection cycle.
 	Log io.Writer
+
+	// TraceSink, when non-nil, receives the structured event stream
+	// (cycle, handshake-round, ack-round, card-scan, trace-drain,
+	// sweep-shard and mutator-pause spans; see the trace package).
+	// Events are buffered in lock-free per-producer rings and drained
+	// to the sink at the end of every cycle and at Stop.
+	TraceSink trace.Sink
+
+	// DisablePauseHistograms turns off per-mutator pause accounting.
+	// By default every mutator records its handshake/root-marking and
+	// allocation-stall delays into a log-linear histogram (reported by
+	// PauseStats); the cost is two clock reads per actual handshake
+	// response — nothing on the Cooperate fast path — so accounting is
+	// on unless explicitly disabled.
+	DisablePauseHistograms bool
 }
 
 // withDefaults returns a copy with unset fields filled with the paper's

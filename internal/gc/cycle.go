@@ -39,25 +39,33 @@ func (c *Collector) Cycle(full bool) {
 	// --- clear ---
 	toggleFree := c.cfg.DisableColorToggle
 	if full && !toggleFree {
+		ifStart := time.Now()
 		c.initFullCollection()
+		c.emit("initfull", ifStart, "", 0, 0)
 	}
 	c.tracing.Store(true)
 	c.phase.Store(uint32(phaseTracing))
 	syncStart := time.Now()
 	c.handshake(StatusSync1)
+	c.cyc.Sync1Time = time.Since(syncStart)
+	c.emit("sync", syncStart, "sync1", 0, 0)
 
 	// --- mark ---
+	sync2Start := time.Now()
 	c.postHandshake(StatusSync2)
 	switch c.cfg.Mode {
 	case Generational:
 		// Figure 2: ClearCards precedes the toggle, so the card
 		// scan finishes before any yellow object can exist (§7.1).
 		if !full {
+			csStart := time.Now()
 			if c.cfg.UseRememberedSet {
 				c.drainRememberedSet()
 			} else {
 				c.clearCardsSimple()
 			}
+			c.emit("cardscan", csStart, "",
+				int64(c.cyc.DirtyCards), int64(c.cyc.AllocatedCards))
 		}
 		c.switchColors()
 	case GenerationalAging:
@@ -66,7 +74,10 @@ func (c *Collector) Cycle(full bool) {
 		// collections skip the scan and keep the marks (§6).
 		c.switchColors()
 		if !full {
+			csStart := time.Now()
 			c.clearCardsAging()
+			c.emit("cardscan", csStart, "",
+				int64(c.cyc.DirtyCards), int64(c.cyc.AllocatedCards))
 		}
 	default:
 		if !toggleFree {
@@ -74,7 +85,10 @@ func (c *Collector) Cycle(full bool) {
 		}
 	}
 	c.waitHandshake()
+	c.cyc.Sync2Time = time.Since(sync2Start)
+	c.emit("sync", sync2Start, "sync2", 0, 0)
 
+	sync3Start := time.Now()
 	c.postHandshake(StatusAsync)
 	// Mark global roots: the globals object itself is the root; its
 	// referents are reached when the trace scans it. It may already be
@@ -84,12 +98,15 @@ func (c *Collector) Cycle(full bool) {
 	c.collectorMarkGray(c.globals)
 	c.collectorShadeFrom(c.globals, heap.Black)
 	c.waitHandshake()
+	c.cyc.Sync3Time = time.Since(sync3Start)
+	c.emit("sync", sync3Start, "sync3", 0, 0)
 	c.cyc.HandshakeTime = time.Since(syncStart)
 
 	// --- trace ---
 	traceStart := time.Now()
 	c.trace()
 	c.cyc.TraceTime = time.Since(traceStart)
+	c.emit("trace", traceStart, "", int64(c.cyc.ObjectsScanned), 0)
 
 	// --- sweep ---
 	sweepStart := time.Now()
@@ -103,6 +120,7 @@ func (c *Collector) Cycle(full bool) {
 	c.phase.Store(uint32(phaseIdle))
 	c.H.ReclaimEmptyBlocks()
 	c.cyc.SweepTime = time.Since(sweepStart)
+	c.emit("sweep", sweepStart, "", int64(c.cyc.ObjectsFreed), 0)
 
 	switch {
 	case full:
@@ -118,6 +136,9 @@ func (c *Collector) Cycle(full bool) {
 	c.youngAlloc.Add(-youngAtStart)
 	c.cyc.Duration = time.Since(start)
 	c.cyc.PagesTouched = c.H.Pages.Count()
+	c.emit("cycle", start, kind.String(),
+		int64(c.cyc.ObjectsScanned), int64(c.cyc.ObjectsFreed))
+	c.flushTrace()
 	c.rec.Record(c.cyc)
 	if c.cfg.Log != nil {
 		fmt.Fprintf(c.cfg.Log,

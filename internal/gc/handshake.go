@@ -5,11 +5,21 @@ import (
 	"time"
 )
 
-// handshakePause is how long the collector sleeps between polls while
-// waiting for mutators. The paper separates the handshake into
-// postHandshake and waitHandshake (§7) instead of using a second
-// collector thread; we do the same.
-const handshakePause = 10 * time.Microsecond
+// Polling parameters for the collector's wait loops. The paper
+// separates the handshake into postHandshake and waitHandshake (§7)
+// instead of using a second collector thread; we do the same.
+//
+// Once the yield budget is spent the collector sleeps with exponential
+// backoff: a fixed sleep either hammers the scheduler (too short) or
+// stretches the sync1/sync2 window (too long) — the backoff starts at
+// one microsecond, so a mutator that responds promptly costs almost
+// nothing, and doubles up to a 100µs cap, which bounds how stale the
+// collector's view of a slow mutator can get.
+const (
+	handshakeYieldBudget = 1 << 15 // Gosched calls before sleeping
+	handshakeSleepMin    = time.Microsecond
+	handshakeSleepMax    = 100 * time.Microsecond
+)
 
 // postHandshake publishes a new collector status; mutators observe it at
 // their next safe point and update their own status.
@@ -37,13 +47,19 @@ func (c *Collector) waitHandshake() {
 // is expensive on a busy single-P system — a sleeping collector is only
 // rescheduled at the next preemption point, ~10 ms away, which would
 // stretch the sync1/sync2 window and prematurely promote everything
-// allocated inside it (§7.1).
+// allocated inside it (§7.1). Past the budget, sleeps back off
+// exponentially from handshakeSleepMin to the handshakeSleepMax cap.
 func yieldOrSleep(spin int) {
-	if spin < 1<<15 {
+	if spin < handshakeYieldBudget {
 		runtime.Gosched()
 		return
 	}
-	time.Sleep(handshakePause)
+	d := handshakeSleepMax
+	if shift := spin - handshakeYieldBudget; shift < 7 {
+		// 1, 2, 4, ... 64µs; from shift 7 the 100µs cap applies.
+		d = handshakeSleepMin << uint(shift)
+	}
+	time.Sleep(d)
 }
 
 func (c *Collector) allMutatorsAt(target uint32) bool {
@@ -69,11 +85,15 @@ func (c *Collector) handshake(s Status) {
 // ackRound asks every mutator to pass one safe point and waits for it.
 // It closes the trace-termination race: when a mutator acknowledges the
 // epoch, every gray transition it performed before the acknowledgement
-// is visible in its gray buffer.
+// is visible in its gray buffer. Each round's latency is recorded in
+// the cycle record and emitted as an "ack" trace event.
 func (c *Collector) ackRound() {
+	start := time.Now()
 	e := c.ackEpoch.Add(1)
 	for spin := 0; ; spin++ {
 		if c.allMutatorsAcked(e) {
+			c.cyc.AckRounds++
+			c.emit("ack", start, "", e, 0)
 			return
 		}
 		yieldOrSleep(spin)

@@ -8,6 +8,8 @@ import (
 	"time"
 
 	"gengc/internal/heap"
+	"gengc/internal/metrics"
+	"gengc/internal/trace"
 )
 
 // Mutator is one program thread's view of the runtime: its allocation
@@ -48,12 +50,24 @@ type Mutator struct {
 	// safe point.
 	ack atomic.Int64
 
+	// pauses is this mutator's latency histogram of GC-imposed delays
+	// (nil when Config.DisablePauseHistograms); ring is its trace
+	// event buffer (nil without a TraceSink).
+	pauses *metrics.Histogram
+	ring   *trace.Ring
+
 	detached atomic.Bool
 }
 
 // NewMutator attaches a new mutator thread to the collector.
 func (c *Collector) NewMutator() *Mutator {
 	m := &Mutator{c: c, roots: make([]heap.Addr, 0, 64)}
+	if !c.cfg.DisablePauseHistograms {
+		m.pauses = &metrics.Histogram{}
+	}
+	if c.tracer != nil {
+		m.ring = c.tracer.NewRing()
+	}
 	c.muts.Lock()
 	m.id = c.muts.nextID
 	c.muts.nextID++
@@ -101,6 +115,10 @@ func (m *Mutator) Detach() {
 		m.c.remOrphans.buf = append(m.c.remOrphans.buf, rbuf...)
 		m.c.remOrphans.Unlock()
 	}
+	// Preserve the pause history for fleet-wide statistics.
+	if m.pauses != nil {
+		m.pauses.MergeInto(m.c.retired)
+	}
 }
 
 // adoptOrphans hands gray objects from a detached mutator to the
@@ -116,11 +134,23 @@ func (c *Collector) adoptOrphans(buf []heap.Addr) {
 // workloads call it once per operation. It responds to handshakes,
 // marks the thread's roots when moving from sync2 to async, and
 // acknowledges trace-termination epochs.
+//
+// The fast path (nothing to respond to) is two atomic loads; a response
+// is additionally timed as a mutator pause — this is the paper's
+// central claim (mutators are delayed for at most a root-scan, Figures
+// 16–21), measured from the mutator's own side.
 func (m *Mutator) Cooperate() {
-	responded := false
 	sc := Status(m.c.statusC.Load())
-	if Status(m.status.Load()) != sc {
+	statusChanged := Status(m.status.Load()) != sc
+	ackPending := m.c.ackEpoch.Load() != m.ack.Load()
+	if !statusChanged && !ackPending {
+		return
+	}
+	start := m.pauseStart()
+	cause := "ack"
+	if statusChanged {
 		if Status(m.status.Load()) == StatusSync2 {
+			cause = "roots"
 			aging := m.c.cfg.Mode == GenerationalAging
 			for _, r := range m.roots {
 				if r == 0 {
@@ -132,21 +162,54 @@ func (m *Mutator) Cooperate() {
 					m.markGray(r)
 				}
 			}
+		} else {
+			cause = "handshake"
 		}
 		m.status.Store(uint32(sc))
-		responded = true
 	}
 	if e := m.c.ackEpoch.Load(); e != m.ack.Load() {
 		m.ack.Store(e)
-		responded = true
 	}
-	if responded {
-		// Hand the processor to the waiting collector: on a single
-		// P a compute-bound mutator would otherwise keep running a
-		// full preemption quantum, stretching the sync1/sync2 window
-		// in which the write barrier promotes freshly created
-		// objects (§7.1).
-		runtime.Gosched()
+	// Hand the processor to the waiting collector: on a single
+	// P a compute-bound mutator would otherwise keep running a
+	// full preemption quantum, stretching the sync1/sync2 window
+	// in which the write barrier promotes freshly created
+	// objects (§7.1).
+	runtime.Gosched()
+	m.recordPause(start, cause)
+}
+
+// pauseStart samples the clock iff pause accounting or tracing wants
+// it; the zero time means "don't record".
+func (m *Mutator) pauseStart() time.Time {
+	if m.pauses == nil && m.ring == nil {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// recordPause closes a pause span opened by pauseStart: the delay goes
+// into the mutator's histogram and, with a trace sink, out as a "pause"
+// event attributed to this mutator. The yield to the collector counts
+// as part of the pause — it is time this thread gave up because the
+// collector asked, which is exactly what the paper's pause figures
+// measure.
+func (m *Mutator) recordPause(start time.Time, cause string) {
+	if start.IsZero() {
+		return
+	}
+	d := time.Since(start)
+	if m.pauses != nil {
+		m.pauses.Record(d)
+	}
+	if m.ring != nil {
+		m.ring.Emit(trace.Event{
+			Ev:     "pause",
+			T:      m.c.tracer.Rel(start),
+			D:      d.Nanoseconds(),
+			Worker: m.id,
+			K:      cause,
+		})
 	}
 }
 
@@ -288,7 +351,14 @@ func (m *Mutator) Alloc(slots, size int) (heap.Addr, error) {
 // one completes. Without a background collector goroutine (tests that
 // drive collections manually) the cycle is run on a helper goroutine so
 // this mutator can keep responding to its handshakes.
+//
+// The whole stall is recorded as one "allocwait" pause — the dominant
+// mutator-visible delay a collector can impose. Handshake responses
+// made while waiting are recorded as their own (nested, much shorter)
+// pauses; OBSERVABILITY.md documents the overlap.
 func (m *Mutator) waitForFullCollection() {
+	pauseAt := m.pauseStart()
+	defer m.recordPause(pauseAt, "allocwait")
 	m.c.fullWaiters.Add(1)
 	defer m.c.fullWaiters.Add(-1)
 	start := m.c.fullsDone.Load()

@@ -1,0 +1,80 @@
+package gc
+
+import (
+	"time"
+
+	"gengc/internal/metrics"
+	"gengc/internal/trace"
+)
+
+// Observability: the emit helpers that feed the structured-event layer
+// (trace package) and the pause-statistics snapshot API. All emit paths
+// are nil-safe — a collector without a TraceSink pays one pointer
+// comparison per call site.
+
+// emit appends a span event to the collector goroutine's ring. It must
+// be called from the collector goroutine (cycle phases, serial drains,
+// handshake and ack rounds).
+func (c *Collector) emit(ev string, start time.Time, detail string, n, m int64) {
+	if c.tracer == nil {
+		return
+	}
+	c.ring.Emit(trace.Event{
+		Ev:    ev,
+		T:     c.tracer.Rel(start),
+		D:     time.Since(start).Nanoseconds(),
+		Cycle: c.cyclesDone.Load() + 1,
+		K:     detail,
+		N:     n,
+		M:     m,
+	})
+}
+
+// emitWorker appends a span event to one worker's ring; used by the
+// parallel trace and sweep goroutines. ring may be nil (no sink).
+func (c *Collector) emitWorker(ring *trace.Ring, ev string, worker int, start time.Time, n int64) {
+	if ring == nil {
+		return
+	}
+	ring.Emit(trace.Event{
+		Ev:     ev,
+		T:      c.tracer.Rel(start),
+		D:      time.Since(start).Nanoseconds(),
+		Cycle:  c.cyclesDone.Load() + 1,
+		Worker: worker,
+		N:      n,
+	})
+}
+
+// flushTrace drains every producer ring into the sink; called at the
+// end of each cycle so traces stream out while the run progresses.
+func (c *Collector) flushTrace() {
+	if c.tracer != nil {
+		c.tracer.Flush()
+	}
+}
+
+// PauseStats reports per-mutator pause statistics for every currently
+// attached mutator, plus the fleet-wide aggregate (Mutator == -1) which
+// also folds in the histograms of mutators that have detached. Pauses
+// are the mutator-visible delays of the on-the-fly protocol: handshake
+// responses (including root marking at the sync2→async transition),
+// acknowledgement-round responses, and allocation stalls waiting for a
+// full collection. Safe to call at any time, including while mutators
+// run; empty when Config.DisablePauseHistograms is set.
+func (c *Collector) PauseStats() (fleet metrics.PauseStats, perMutator []metrics.PauseStats) {
+	agg := &metrics.Histogram{}
+	c.retired.MergeInto(agg)
+	c.muts.Lock()
+	snapshot := append([]*Mutator(nil), c.muts.list...)
+	c.muts.Unlock()
+	for _, m := range snapshot {
+		if m.pauses == nil {
+			continue
+		}
+		perMutator = append(perMutator, m.pauses.Stats(m.id))
+		m.pauses.MergeInto(agg)
+	}
+	fleet = agg.Stats(-1)
+	return fleet, perMutator
+}

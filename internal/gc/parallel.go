@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"gengc/internal/heap"
+	"gengc/internal/trace"
 )
 
 // Parallel trace and sweep (Workers > 1). The paper runs a single
@@ -131,12 +132,16 @@ func (d *wsDeque) stealFrom(victim *wsDeque) int {
 }
 
 // traceWorker is one trace worker's deque and work counters. The
-// counters are merged into the cycle record after each drain.
+// counters are merged into the cycle record after each drain. ring is
+// the worker's private trace-event buffer (nil without a TraceSink);
+// the trace and sweep phases never overlap, so the sharded sweep
+// borrows the same rings.
 type traceWorker struct {
 	deque   wsDeque
 	scanned int
 	slots   int
 	steals  int
+	ring    *trace.Ring
 }
 
 // workerPool lazily builds the per-worker state; it lives for the
@@ -146,6 +151,9 @@ func (c *Collector) workerPool() []*traceWorker {
 		c.workers = make([]*traceWorker, c.cfg.Workers)
 		for i := range c.workers {
 			c.workers[i] = &traceWorker{}
+			if c.tracer != nil {
+				c.workers[i].ring = c.tracer.NewRing()
+			}
 		}
 	}
 	return c.workers
@@ -196,9 +204,19 @@ func (c *Collector) markBlackWorker(w *traceWorker, x heap.Addr) {
 }
 
 // traceWorkerLoop drains deques until the pool-wide pending counter
-// proves there is no queued or in-flight object left.
+// proves there is no queued or in-flight object left. Each worker's
+// participation in the drain is one "drain" span on its own ring.
 func (c *Collector) traceWorkerLoop(id int, ws []*traceWorker) {
 	w := ws[id]
+	if w.ring != nil {
+		start := time.Now()
+		before := w.scanned
+		defer func() {
+			if n := w.scanned - before; n > 0 {
+				c.emitWorker(w.ring, "drain", id, start, int64(n))
+			}
+		}()
+	}
 	misses := 0
 	for {
 		x, ok := w.deque.pop()
@@ -434,17 +452,32 @@ func (c *Collector) sweepParallel(full bool) {
 		}
 	}
 	if spill {
+		// Each engaged worker's share of the sweep is one "sweepshard"
+		// span on its pool ring (the trace phase is over, so the rings
+		// are free).
+		var ws []*traceWorker
+		if c.tracer != nil {
+			ws = c.workerPool()
+		}
+		shard := func(i int, st *sweepState) {
+			shardStart := time.Now()
+			before := st.objectsFreed
+			for claim(st) {
+			}
+			if ws != nil {
+				c.emitWorker(ws[i].ring, "sweepshard", i, shardStart,
+					int64(st.objectsFreed-before))
+			}
+		}
 		var wg sync.WaitGroup
 		for i := 1; i < c.activeWorkers(); i++ {
 			wg.Add(1)
-			go func(st *sweepState) {
+			go func(i int) {
 				defer wg.Done()
-				for claim(st) {
-				}
-			}(&states[i])
+				shard(i, &states[i])
+			}(i)
 		}
-		for claim(&states[0]) {
-		}
+		shard(0, &states[0])
 		wg.Wait()
 	}
 

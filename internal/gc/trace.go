@@ -1,6 +1,8 @@
 package gc
 
 import (
+	"time"
+
 	"gengc/internal/heap"
 )
 
@@ -41,12 +43,21 @@ func (c *Collector) markBlack(x heap.Addr) {
 	c.cyc.SlotsScanned += slots
 }
 
-// drainStack traces until the collector's stack is empty.
+// drainStack traces until the collector's stack is empty, emitting one
+// "drain" span when it did any work.
 func (c *Collector) drainStack() {
+	if len(c.markStack) == 0 {
+		return
+	}
+	start := time.Now()
+	before := c.cyc.ObjectsScanned
 	for len(c.markStack) > 0 {
 		x := c.markStack[len(c.markStack)-1]
 		c.markStack = c.markStack[:len(c.markStack)-1]
 		c.markBlack(x)
+	}
+	if n := c.cyc.ObjectsScanned - before; n > 0 {
+		c.emit("drain", start, "", int64(n), 0)
 	}
 }
 

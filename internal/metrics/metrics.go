@@ -37,6 +37,19 @@ type Cycle struct {
 	// write barrier also shades allocation-colored objects (§7.1).
 	HandshakeTime time.Duration
 
+	// Sync1Time, Sync2Time and Sync3Time split HandshakeTime into the
+	// three rounds of the §7 protocol (each from posting the status to
+	// every mutator responding). Sync2Time includes the card scan and
+	// color toggle, which Figure 2/5 run inside the second round.
+	Sync1Time time.Duration
+	Sync2Time time.Duration
+	Sync3Time time.Duration
+
+	// AckRounds counts the trace-termination acknowledgement rounds
+	// the cycle needed before the gray fixpoint held (trace.go); each
+	// round is one mutator-fleet safe-point pass.
+	AckRounds int
+
 	// TraceTime and SweepTime split the concurrent phases of the
 	// cycle: the trace-to-fixpoint span (drains plus acknowledgement
 	// rounds) and the sweep span (including empty-block reclamation).

@@ -1,0 +1,187 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Renderers: plain-text (and CSV) figures in the style of the bench
+// package's tables. Every renderer takes the parsed Trace so cmd/gcreport
+// can compose any subset with one parse.
+
+// cdfPoints are the cumulative-fraction points printed for the pause
+// CDF — the companion to the paper's "maximum pause time" measurements
+// (§8.3): the interesting tail is the top percentiles.
+var cdfPoints = []float64{0.50, 0.75, 0.90, 0.95, 0.99, 0.999, 1.0}
+
+func fmtQ(q float64) string {
+	if q == 1.0 {
+		return "max"
+	}
+	return fmt.Sprintf("p%g", 100*q)
+}
+
+// RenderPauseCDF prints the fleet-wide pause-time distribution and the
+// per-cause event counts.
+func RenderPauseCDF(w io.Writer, t *Trace, csv bool) {
+	c := t.Pauses()
+	fmt.Fprintf(w, "Pause-time CDF (%d pauses, %d mutators, %d runs)\n",
+		c.Count, c.Mutators, t.Runs)
+	if c.Count == 0 {
+		fmt.Fprintln(w, "  no pause events in trace (pause accounting off?)")
+		fmt.Fprintln(w)
+		return
+	}
+	if csv {
+		fmt.Fprintln(w, "quantile,pause_ns")
+		for _, q := range cdfPoints {
+			fmt.Fprintf(w, "%s,%d\n", fmtQ(q), c.Quantile(q).Nanoseconds())
+		}
+	} else {
+		for _, q := range cdfPoints {
+			fmt.Fprintf(w, "  %-6s %12v\n", fmtQ(q), c.Quantile(q))
+		}
+	}
+	causes := make([]string, 0, len(c.ByCause))
+	for k := range c.ByCause {
+		causes = append(causes, k)
+	}
+	sort.Strings(causes)
+	fmt.Fprint(w, "  by cause:")
+	for _, k := range causes {
+		fmt.Fprintf(w, " %s=%d", k, c.ByCause[k])
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintln(w)
+}
+
+// RenderBreakdown prints the per-phase cycle decomposition per kind.
+func RenderBreakdown(w io.Writer, t *Trace, csv bool) {
+	bds := t.Breakdown()
+	fmt.Fprintln(w, "Cycle phase breakdown (mean per cycle)")
+	if len(bds) == 0 {
+		fmt.Fprintln(w, "  no completed cycles in trace")
+		fmt.Fprintln(w)
+		return
+	}
+	if csv {
+		fmt.Fprintln(w, "kind,cycles,total_ns,sync1_ns,sync2_ns,sync3_ns,ack_ns,ack_rounds,trace_ns,drain_ns,sweep_ns,scanned,freed")
+		for _, b := range bds {
+			n := int64(b.Cycles)
+			fmt.Fprintf(w, "%s,%d,%d,%d,%d,%d,%d,%.2f,%d,%d,%d,%.1f,%.1f\n",
+				b.Kind, b.Cycles, b.Total.Nanoseconds()/n,
+				b.Sync[0].Nanoseconds()/n, b.Sync[1].Nanoseconds()/n,
+				b.Sync[2].Nanoseconds()/n, b.Acks.Nanoseconds()/n,
+				float64(b.AckN)/float64(n), b.Trace.Nanoseconds()/n,
+				b.Drain.Nanoseconds()/n, b.Sweep.Nanoseconds()/n,
+				float64(b.Scanned)/float64(n), float64(b.Freed)/float64(n))
+		}
+	} else {
+		fmt.Fprintf(w, "  %-8s %7s %12s %10s %10s %10s %10s %6s %12s %12s %12s %10s %10s\n",
+			"kind", "cycles", "total", "sync1", "sync2", "sync3",
+			"ack", "rnds", "trace", "drain", "sweep", "scanned", "freed")
+		for _, b := range bds {
+			n := time.Duration(b.Cycles)
+			f := float64(b.Cycles)
+			fmt.Fprintf(w, "  %-8s %7d %12v %10v %10v %10v %10v %6.2f %12v %12v %12v %10.1f %10.1f\n",
+				b.Kind, b.Cycles, rnd(b.Total/n), rnd(b.Sync[0]/n),
+				rnd(b.Sync[1]/n), rnd(b.Sync[2]/n), rnd(b.Acks/n),
+				float64(b.AckN)/f, rnd(b.Trace/n), rnd(b.Drain/n), rnd(b.Sweep/n),
+				float64(b.Scanned)/f, float64(b.Freed)/f)
+		}
+	}
+	fmt.Fprintln(w)
+}
+
+func rnd(d time.Duration) time.Duration { return d.Round(time.Microsecond) }
+
+// RenderCards prints the dirty-card statistics of the traced partials.
+func RenderCards(w io.Writer, t *Trace, csv bool) {
+	s := t.Cards()
+	fmt.Fprintln(w, "Dirty cards (card scans of partial collections)")
+	if s.Scans == 0 {
+		fmt.Fprintln(w, "  no card scans in trace (non-generational run?)")
+		fmt.Fprintln(w)
+		return
+	}
+	pct := 0.0
+	if s.Allocated > 0 {
+		pct = 100 * float64(s.Dirty) / float64(s.Allocated)
+	}
+	f := float64(s.Scans)
+	if csv {
+		fmt.Fprintln(w, "scans,avg_dirty,avg_allocated,dirty_pct,avg_scan_ns")
+		fmt.Fprintf(w, "%d,%.1f,%.1f,%.2f,%d\n", s.Scans,
+			float64(s.Dirty)/f, float64(s.Allocated)/f, pct,
+			s.Time.Nanoseconds()/int64(s.Scans))
+	} else {
+		fmt.Fprintf(w, "  scans=%d avg dirty=%.1f avg allocated=%.1f dirty%%=%.2f avg scan=%v\n",
+			s.Scans, float64(s.Dirty)/f, float64(s.Allocated)/f, pct,
+			rnd(s.Time/time.Duration(s.Scans)))
+	}
+	fmt.Fprintln(w)
+}
+
+// RenderMutators prints one line of pause quantiles per (run, mutator).
+func RenderMutators(w io.Writer, t *Trace, csv bool) {
+	ms := t.PerMutator()
+	fmt.Fprintln(w, "Per-mutator pauses")
+	if len(ms) == 0 {
+		fmt.Fprintln(w, "  no pause events in trace")
+		fmt.Fprintln(w)
+		return
+	}
+	if csv {
+		fmt.Fprintln(w, "run,mutator,count,p50_ns,p99_ns,max_ns")
+		for _, m := range ms {
+			fmt.Fprintf(w, "%d,%d,%d,%d,%d,%d\n", m.Run, m.Mutator, m.Count,
+				quantile(m.Sorted, 0.50), quantile(m.Sorted, 0.99),
+				m.Sorted[len(m.Sorted)-1])
+		}
+	} else {
+		fmt.Fprintf(w, "  %4s %8s %8s %12s %12s %12s\n",
+			"run", "mutator", "count", "p50", "p99", "max")
+		for _, m := range ms {
+			fmt.Fprintf(w, "  %4d %8d %8d %12v %12v %12v\n",
+				m.Run, m.Mutator, m.Count,
+				time.Duration(quantile(m.Sorted, 0.50)),
+				time.Duration(quantile(m.Sorted, 0.99)),
+				time.Duration(m.Sorted[len(m.Sorted)-1]))
+		}
+	}
+	fmt.Fprintln(w)
+}
+
+// RenderSummary prints the one-paragraph header: what the trace holds.
+func RenderSummary(w io.Writer, t *Trace) {
+	var cycles, fulls int
+	byEv := map[string]int{}
+	for _, e := range t.Events {
+		byEv[e.Ev]++
+		if e.Ev == "cycle" {
+			cycles++
+			if e.K == "full" {
+				fulls++
+			}
+		}
+	}
+	evs := make([]string, 0, len(byEv))
+	for k := range byEv {
+		evs = append(evs, k)
+	}
+	sort.Strings(evs)
+	parts := make([]string, 0, len(evs))
+	for _, k := range evs {
+		parts = append(parts, fmt.Sprintf("%s=%d", k, byEv[k]))
+	}
+	fmt.Fprintf(w, "trace: %d events, %d runs, %d cycles (%d full)\n",
+		len(t.Events), t.Runs, cycles, fulls)
+	fmt.Fprintf(w, "  %s\n", strings.Join(parts, " "))
+	if t.Dropped > 0 {
+		fmt.Fprintf(w, "  WARNING: %d events lost to ring overflow\n", t.Dropped)
+	}
+	fmt.Fprintln(w)
+}

@@ -1,0 +1,263 @@
+// Package trace is the collector's structured event layer: timestamped
+// spans for everything the cycle does — the whole cycle, the three
+// handshake rounds, trace-termination acknowledgement rounds, trace
+// drains, sweep shards, card scans — plus per-mutator pause events, all
+// delivered to a pluggable Sink.
+//
+// Producers (the collector goroutine, each trace/sweep worker, each
+// mutator) write into private single-producer ring buffers, so emitting
+// an event on a hot path costs one index check and one array store — no
+// lock, no allocation. The collector drains every ring into the sink at
+// the end of each cycle and on shutdown; events therefore reach the sink
+// grouped by producer, not globally time-ordered, and consumers sort by
+// the T field when order matters (cmd/gcreport does).
+//
+// The JSONL sink writes one JSON object per event, the interchange
+// format consumed by cmd/gcreport to render the paper-style pause and
+// phase figures (see OBSERVABILITY.md for the event ↔ figure map).
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Event is one timestamped span or point event. The fixed field set
+// keeps the ring buffers copy-cheap and the JSONL lines uniform.
+//
+// Event kinds emitted by the collector (the Ev field):
+//
+//	start     runtime created; marks a run boundary in concatenated
+//	          traces (T is 0 at the runtime's epoch)
+//	cycle     one whole collection cycle; K = "partial"|"full",
+//	          N = objects scanned, M = objects freed
+//	sync      one handshake round; K = "sync1"|"sync2"|"sync3"
+//	ack       one trace-termination acknowledgement round; N = epoch
+//	initfull  the InitFullCollection recoloring walk (full cycles)
+//	cardscan  the dirty-card scan; N = dirty cards, M = allocated cards
+//	trace     the whole trace-to-fixpoint phase; N = objects scanned
+//	drain     one trace drain; W = worker, N = objects blackened
+//	sweep     the whole sweep phase; N = objects freed
+//	sweepshard one worker's share of a parallel sweep; W = worker,
+//	          N = objects freed by that worker
+//	pause     one mutator-visible delay; W = mutator id,
+//	          K = "roots"|"handshake"|"ack"|"allocwait"
+//	drops     events lost to ring overflow (emitted at Close); N = count
+type Event struct {
+	// Ev is the event kind (see the table above).
+	Ev string `json:"ev"`
+
+	// T is the span's start time in nanoseconds since the runtime's
+	// epoch (its creation).
+	T int64 `json:"t"`
+
+	// D is the span's duration in nanoseconds (0 for point events).
+	D int64 `json:"d"`
+
+	// Cycle is the collection cycle the event belongs to (1-based,
+	// matching metrics.Cycle.Seq); 0 when the event is not tied to a
+	// cycle (mutator pauses, run boundaries).
+	Cycle int64 `json:"cyc,omitempty"`
+
+	// Worker is the collector worker or mutator id that produced the
+	// event (0 is the collector goroutine / first worker).
+	Worker int `json:"w"`
+
+	// N and M are kind-specific counts (see the table above).
+	N int64 `json:"n,omitempty"`
+	M int64 `json:"m,omitempty"`
+
+	// K is a kind-specific detail string (cycle kind, handshake round,
+	// pause cause).
+	K string `json:"k,omitempty"`
+}
+
+// Sink receives the event stream. The Tracer serializes all calls, so
+// implementations need no locking of their own unless they are shared
+// between tracers.
+type Sink interface {
+	// Emit delivers one event.
+	Emit(Event)
+	// Flush pushes buffered output downstream (called at the end of
+	// every collection cycle and at Close).
+	Flush() error
+}
+
+// ringSize is the per-producer buffer capacity. Rings are drained at
+// least once per collection cycle, which emits a few dozen events per
+// producer, so overflow indicates a stalled drain rather than a
+// too-small buffer; overflowing events are dropped and counted.
+const ringSize = 2048
+
+// Ring is a single-producer, single-consumer event buffer. The producer
+// (one goroutine at a time) calls Emit; the consumer (the Tracer, under
+// its lock) drains. head is written only by the producer and tail only
+// by the consumer, so both sides synchronize on one atomic load each —
+// the producer's store of head publishes the event written before it.
+type Ring struct {
+	buf     [ringSize]Event
+	head    atomic.Int64 // next slot to write (producer)
+	tail    atomic.Int64 // next slot to read (consumer)
+	dropped atomic.Int64
+}
+
+// Emit appends one event, dropping it (and counting the drop) when the
+// ring is full. Producer side only.
+func (r *Ring) Emit(e Event) {
+	h := r.head.Load()
+	if h-r.tail.Load() >= ringSize {
+		r.dropped.Add(1)
+		return
+	}
+	r.buf[h&(ringSize-1)] = e
+	r.head.Store(h + 1)
+}
+
+// Dropped reports how many events overflowed the ring so far.
+func (r *Ring) Dropped() int64 { return r.dropped.Load() }
+
+// drain hands every buffered event to fn. Consumer side only.
+func (r *Ring) drain(fn func(Event)) {
+	t := r.tail.Load()
+	h := r.head.Load()
+	for ; t < h; t++ {
+		fn(r.buf[t&(ringSize-1)])
+	}
+	r.tail.Store(t)
+}
+
+// Tracer owns the rings and the sink for one runtime. All methods are
+// safe for concurrent use; Emit paths go through per-producer rings and
+// never block on the sink.
+type Tracer struct {
+	sink  Sink
+	epoch time.Time
+
+	mu     sync.Mutex
+	rings  []*Ring
+	closed bool
+}
+
+// New starts a tracer over sink and emits the run-boundary "start"
+// event. The epoch for all event timestamps is the moment of creation.
+func New(sink Sink) *Tracer {
+	t := &Tracer{sink: sink, epoch: time.Now()}
+	sink.Emit(Event{Ev: "start"})
+	return t
+}
+
+// Epoch returns the tracer's time origin.
+func (t *Tracer) Epoch() time.Time { return t.epoch }
+
+// Rel converts an absolute time to nanoseconds since the epoch.
+func (t *Tracer) Rel(at time.Time) int64 { return at.Sub(t.epoch).Nanoseconds() }
+
+// NewRing registers and returns a ring for one producer goroutine.
+func (t *Tracer) NewRing() *Ring {
+	r := &Ring{}
+	t.mu.Lock()
+	t.rings = append(t.rings, r)
+	t.mu.Unlock()
+	return r
+}
+
+// Flush drains every ring into the sink and flushes it. Called by the
+// collector at the end of each cycle; concurrent producers keep
+// emitting into the undrained tail unharmed.
+func (t *Tracer) Flush() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return
+	}
+	for _, r := range t.rings {
+		r.drain(t.sink.Emit)
+	}
+	t.sink.Flush()
+}
+
+// Close performs the final drain, reports ring overflow if any occurred,
+// and flushes the sink. Further Flush/Close calls are no-ops; events
+// emitted after Close are silently lost.
+func (t *Tracer) Close() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return
+	}
+	t.closed = true
+	var drops int64
+	for _, r := range t.rings {
+		r.drain(t.sink.Emit)
+		drops += r.dropped.Load()
+	}
+	if drops > 0 {
+		t.sink.Emit(Event{Ev: "drops", T: t.Rel(time.Now()), N: drops})
+	}
+	t.sink.Flush()
+}
+
+// JSONLSink writes one JSON object per event — the format cmd/gcreport
+// ingests. It buffers internally; the first write error is retained and
+// reported by Err (and by the final Flush).
+type JSONLSink struct {
+	w   *bufio.Writer
+	enc *json.Encoder
+	err error
+}
+
+// NewJSONLSink wraps w in a buffered JSONL event writer.
+func NewJSONLSink(w io.Writer) *JSONLSink {
+	bw := bufio.NewWriter(w)
+	return &JSONLSink{w: bw, enc: json.NewEncoder(bw)}
+}
+
+// Emit writes one event as a JSON line.
+func (s *JSONLSink) Emit(e Event) {
+	if s.err != nil {
+		return
+	}
+	s.err = s.enc.Encode(e)
+}
+
+// Flush drains the internal buffer to the underlying writer.
+func (s *JSONLSink) Flush() error {
+	if s.err != nil {
+		return s.err
+	}
+	s.err = s.w.Flush()
+	return s.err
+}
+
+// Err returns the first error encountered while writing, if any.
+func (s *JSONLSink) Err() error { return s.err }
+
+// MemorySink collects events in memory; intended for tests and for
+// embedders that post-process a run's events without serializing them.
+type MemorySink struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// Emit appends the event.
+func (s *MemorySink) Emit(e Event) {
+	s.mu.Lock()
+	s.events = append(s.events, e)
+	s.mu.Unlock()
+}
+
+// Flush is a no-op.
+func (s *MemorySink) Flush() error { return nil }
+
+// Events returns a copy of everything emitted so far.
+func (s *MemorySink) Events() []Event {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Event, len(s.events))
+	copy(out, s.events)
+	return out
+}

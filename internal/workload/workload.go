@@ -157,6 +157,10 @@ type Result struct {
 	Summary  metrics.Summary
 	Cycles   []metrics.Cycle
 
+	// Pauses is the fleet-wide pause statistics over every mutator
+	// thread of the run (zero-valued when pause accounting is off).
+	Pauses metrics.PauseStats
+
 	// Census is the final heap population, taken after the collector
 	// shut down (quiescent).
 	Census heap.Stats
@@ -168,6 +172,7 @@ type RunOption func(*runOptions)
 
 type runOptions struct {
 	onCycle func(metrics.Cycle)
+	sink    gengc.TraceSink
 }
 
 // OnCycle streams every collection's record to fn as the cycle
@@ -175,6 +180,14 @@ type runOptions struct {
 // goroutine and must not block.
 func OnCycle(fn func(metrics.Cycle)) RunOption {
 	return func(o *runOptions) { o.onCycle = fn }
+}
+
+// TraceTo streams the run's structured collector events to sink (see
+// gengc.WithTraceSink). Multiple runs may share one sink: each run's
+// events begin with a "start" boundary, which cmd/gcreport uses to
+// separate concatenated runs.
+func TraceTo(sink gengc.TraceSink) RunOption {
+	return func(o *runOptions) { o.sink = sink }
 }
 
 // Run executes the profile against a fresh runtime built from cfg and
@@ -199,6 +212,9 @@ func Run(p Profile, cfg gengc.Config, seed int64, opts ...RunOption) (Result, er
 		runtime.GC()
 	}()
 
+	if ro.sink != nil {
+		cfg.TraceSink = ro.sink
+	}
 	rt, err := gengc.New(gengc.WithConfig(cfg))
 	if err != nil {
 		return Result{}, err
@@ -251,6 +267,7 @@ func Run(p Profile, cfg gengc.Config, seed int64, opts ...RunOption) (Result, er
 		AllocedB: alloced,
 		Summary:  rt.Collector().Metrics().Summarize(elapsed),
 		Cycles:   rt.Cycles(),
+		Pauses:   rt.Snapshot().Fleet,
 		Census:   census,
 	}, nil
 }

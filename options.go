@@ -115,6 +115,25 @@ func WithLog(w io.Writer) Option {
 	return func(c *Config) { c.Log = w }
 }
 
+// WithTraceSink streams the collector's structured events — cycle,
+// handshake, drain, sweep and card-scan spans plus mutator pauses — to
+// sink. Events are buffered in per-producer rings and drained at the
+// end of every cycle and at Close, so emitting costs the hot paths one
+// array store. Use NewJSONLTraceSink to produce the JSONL format that
+// cmd/gcreport renders into the paper-style figures.
+func WithTraceSink(sink TraceSink) Option {
+	return func(c *Config) { c.TraceSink = sink }
+}
+
+// WithPauseHistograms enables or disables per-mutator pause accounting
+// (log-linear histograms behind Snapshot and PauseStats). It is on by
+// default — recording costs one timestamp pair and one atomic increment
+// per responded handshake — so this option exists to switch it off for
+// barrier microbenchmarks.
+func WithPauseHistograms(on bool) Option {
+	return func(c *Config) { c.DisablePauseHistograms = !on }
+}
+
 // buildConfig folds the options over a zero Config (whose zero fields
 // later assume the paper's defaults).
 func buildConfig(opts []Option) Config {
