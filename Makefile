@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet lint build test race bench trace-verify check
+.PHONY: all vet lint build test race bench trace-verify chaos check
 
 all: check
 
@@ -31,6 +31,13 @@ race:
 bench:
 	$(GO) test -run XXX -bench . -benchtime 1x ./...
 
+# chaos runs a short fixed-seed fault-injection campaign under the race
+# detector: every schedule (stalls, slow workers, transient OOM, failing
+# sink, close race) must finish with zero Verify/self-check violations.
+# The fixed seed keeps the fault schedule reproducible run to run.
+chaos:
+	$(GO) run -race ./cmd/gcchaos -seed 1
+
 # trace-verify round-trips the observability pipeline end to end: run a
 # small traced workload, then require gcreport to parse the JSONL and
 # render the pause CDF and phase breakdown from it.
@@ -44,4 +51,4 @@ trace-verify:
 	|| { rc=$$?; echo "trace-verify: FAILED"; cat $$tmp/report.txt 2>/dev/null; }; \
 	rm -rf $$tmp; exit $$rc
 
-check: lint build test race trace-verify
+check: lint build test race chaos trace-verify

@@ -1,0 +1,347 @@
+// Command gcchaos runs seeded chaos campaigns against the runtime: a
+// churning multi-mutator workload executes under a sequence of fault
+// schedules — stalled safe points, slow trace workers and sweep shards,
+// transient allocation failures, a failing trace sink, and a close
+// racing live allocators — with the full invariant battery (Verify,
+// the card invariant, and the per-cycle self-check) auditing every
+// round. The fault schedule is a pure function of -seed, so a failing
+// campaign reruns identically.
+//
+//	gcchaos -seed 1 -mode gen -mutators 4 -rounds 2 -ops 3000
+//
+// Exit status 0 means every schedule completed with zero violations.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"math/rand"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gengc"
+)
+
+func parseMode(s string) (gengc.Mode, error) {
+	switch s {
+	case "non", "nongen", "non-generational":
+		return gengc.NonGenerational, nil
+	case "gen", "generational", "simple":
+		return gengc.Generational, nil
+	case "aging":
+		return gengc.GenerationalAging, nil
+	}
+	return 0, fmt.Errorf("unknown mode %q (non|gen|aging)", s)
+}
+
+// schedule is one named fault configuration plus its post-run
+// expectations.
+type schedule struct {
+	name    string
+	rules   []gengc.FaultRule
+	workers int // collector workers (0 = the -workers flag)
+	sink    bool
+	// expect audits the finished run; it appends violation strings.
+	expect func(rt *gengc.Runtime, in *gengc.FaultInjector, v *[]string)
+}
+
+func schedules(workers int) []schedule {
+	return []schedule{
+		{
+			name: "baseline",
+		},
+		{
+			// Stalled mutators: injected safe-point delays longer than
+			// the watchdog deadline. Every fired delay holds a mutator
+			// the collector is actively waiting on, so the watchdog
+			// must have reported at least one stall if any fired.
+			name: "stall",
+			rules: []gengc.FaultRule{
+				{Point: gengc.FaultCooperate, Kind: gengc.FaultDelay,
+					P: 0.5, Delay: 25 * time.Millisecond, Count: 4},
+			},
+			expect: func(rt *gengc.Runtime, in *gengc.FaultInjector, v *[]string) {
+				fired := in.Fired(gengc.FaultCooperate)
+				stalls := rt.Snapshot().Stalls
+				if fired == 0 {
+					*v = append(*v, "stall: the Cooperate point never fired — campaign too short")
+				}
+				if fired > 0 && stalls == 0 {
+					*v = append(*v, fmt.Sprintf(
+						"stall: %d injected safe-point delays but zero watchdog reports", fired))
+				}
+			},
+		},
+		{
+			// Slow collector internals: delayed handshake posting and
+			// ack rounds, dropped steal scans, slow sweep shards. All
+			// latency, no lost work — the invariant battery is the
+			// assertion.
+			name:    "slowpool",
+			workers: max(workers, 3),
+			rules: []gengc.FaultRule{
+				{Point: gengc.FaultHandshakePost, Kind: gengc.FaultDelay, P: 0.2, Delay: 500 * time.Microsecond},
+				{Point: gengc.FaultHandshakeAck, Kind: gengc.FaultDelay, P: 0.2, Delay: 300 * time.Microsecond},
+				{Point: gengc.FaultTraceSteal, Kind: gengc.FaultDrop, P: 0.2},
+				{Point: gengc.FaultTraceSteal, Kind: gengc.FaultDelay, P: 0.2, Delay: 100 * time.Microsecond},
+				{Point: gengc.FaultSweepShard, Kind: gengc.FaultDelay, P: 0.2, Delay: 50 * time.Microsecond},
+			},
+		},
+		{
+			// Transient allocation failures: every injected OOM must be
+			// absorbed by the collect-and-retry path (the workload
+			// treats any surfaced allocation error as a violation).
+			name: "oomspike",
+			rules: []gengc.FaultRule{
+				{Point: gengc.FaultAlloc, Kind: gengc.FaultFail, P: 0.002},
+			},
+			expect: func(rt *gengc.Runtime, in *gengc.FaultInjector, v *[]string) {
+				if in.Fired(gengc.FaultAlloc) == 0 {
+					*v = append(*v, "oomspike: the Alloc point never fired — campaign too short")
+				}
+			},
+		},
+		{
+			// Failing trace sink: every write errors; the collector
+			// must degrade tracing and keep collecting.
+			name: "failsink",
+			sink: true,
+			rules: []gengc.FaultRule{
+				{Point: gengc.FaultSinkWrite, Kind: gengc.FaultFail},
+			},
+			expect: func(rt *gengc.Runtime, in *gengc.FaultInjector, v *[]string) {
+				snap := rt.Snapshot()
+				if !snap.TraceDegraded {
+					*v = append(*v, "failsink: tracer did not degrade under a 100% failing sink")
+				}
+				if snap.Cycles == 0 {
+					*v = append(*v, "failsink: no collection completed")
+				}
+			},
+		},
+	}
+}
+
+// churn is one mutator's workload round: build linked structures, cross-
+// link them, drop subsets, and cooperate — a deterministic PRNG stream
+// per mutator keeps the workload reproducible modulo scheduling.
+func churn(m *gengc.Mutator, rng *rand.Rand, ops int) error {
+	var live int
+	for op := 0; op < ops; op++ {
+		switch r := rng.Float64(); {
+		case r < 0.6 || live == 0:
+			ref, err := m.Alloc(2, 16+rng.Intn(48))
+			if err != nil {
+				return err
+			}
+			m.PushRoot(ref)
+			live++
+		case r < 0.8 && live >= 2:
+			// Cross-link two rooted objects through the barrier.
+			a := m.Root(rng.Intn(live))
+			b := m.Root(rng.Intn(live))
+			m.Write(a, rng.Intn(2), b)
+		default:
+			drop := 1 + rng.Intn(min(live, 8))
+			m.PopRoots(drop)
+			live -= drop
+		}
+		m.Safepoint()
+	}
+	return nil
+}
+
+// runSchedule executes rounds of churn under one schedule and audits
+// between rounds. It returns the violations it found.
+func runSchedule(s schedule, seed int64, mode gengc.Mode, mutators, rounds, ops, workers int, verbose bool) []string {
+	in := gengc.NewFaultInjector(seed)
+	for _, r := range s.rules {
+		in.Install(r)
+	}
+	w := s.workers
+	if w == 0 {
+		w = workers
+	}
+	opts := []gengc.Option{
+		gengc.WithMode(mode),
+		gengc.WithHeapBytes(16 << 20),
+		gengc.WithYoungBytes(256 << 10),
+		gengc.WithWorkers(w),
+		gengc.WithSelfCheck(true),
+		gengc.WithStallTimeout(8 * time.Millisecond),
+		gengc.WithAllocRetries(8),
+		gengc.WithFaultInjector(in),
+	}
+	if s.sink {
+		opts = append(opts, gengc.WithTraceSink(gengc.NewJSONLTraceSink(io.Discard)))
+	}
+	rt, err := gengc.New(opts...)
+	if err != nil {
+		log.Fatalf("%s: %v", s.name, err)
+	}
+	var violations []string
+	for round := 0; round < rounds; round++ {
+		var wg sync.WaitGroup
+		errs := make(chan error, mutators)
+		for id := 0; id < mutators; id++ {
+			wg.Add(1)
+			go func(id int) {
+				defer wg.Done()
+				m := rt.NewMutator()
+				defer m.Detach()
+				rng := rand.New(rand.NewSource(seed ^ int64(round*1000+id)))
+				if err := churn(m, rng, ops); err != nil {
+					errs <- fmt.Errorf("mutator %d: %w", id, err)
+				}
+			}(id)
+		}
+		wg.Wait()
+		close(errs)
+		for err := range errs {
+			violations = append(violations, fmt.Sprintf("%s round %d: %v", s.name, round, err))
+		}
+		// All mutators detached: the heap is quiescent. Settle with a
+		// full collection, then audit everything.
+		rt.Collect(true)
+		if err := rt.Verify(); err != nil {
+			violations = append(violations, fmt.Sprintf("%s round %d: Verify: %v", s.name, round, err))
+		}
+		if mode != gengc.NonGenerational {
+			if err := rt.VerifyCardInvariant(); err != nil {
+				violations = append(violations, fmt.Sprintf("%s round %d: card invariant: %v", s.name, round, err))
+			}
+		}
+	}
+	if err, n := rt.Collector().SelfCheckErr(); n > 0 {
+		violations = append(violations, fmt.Sprintf("%s: %d self-check violations, first: %v", s.name, n, err))
+	}
+	if s.expect != nil {
+		s.expect(rt, in, &violations)
+	}
+	snap := rt.Snapshot()
+	rt.Close()
+	fmt.Printf("%-9s cycles=%-4d fulls=%-3d stalls=%-3d aborted=%d degraded=%-5v drops=%d\n",
+		s.name, snap.Cycles, snap.Fulls, snap.Stalls, snap.AbortedCycles,
+		snap.TraceDegraded, snap.TraceDrops)
+	if verbose {
+		for _, ps := range in.Stats() {
+			if ps.Hits > 0 {
+				fmt.Printf("  %-15s hits=%-7d fired=%d\n", ps.Point, ps.Hits, ps.Fired)
+			}
+		}
+	}
+	return violations
+}
+
+// runCloseRace is the shutdown leg: concurrent Closes race allocating
+// mutators and a mid-flight collection; every allocator must come to
+// rest with ErrClosed and Close must return.
+func runCloseRace(seed int64, mode gengc.Mode, mutators int) []string {
+	in := gengc.NewFaultInjector(seed)
+	in.Install(gengc.FaultRule{Point: gengc.FaultCooperate, Kind: gengc.FaultDelay,
+		P: 0.01, Delay: 5 * time.Millisecond})
+	rt, err := gengc.New(
+		gengc.WithMode(mode),
+		gengc.WithHeapBytes(16<<20),
+		gengc.WithYoungBytes(256<<10),
+		gengc.WithSelfCheck(true),
+		gengc.WithStallTimeout(8*time.Millisecond),
+		gengc.WithFaultInjector(in),
+	)
+	if err != nil {
+		log.Fatalf("closerace: %v", err)
+	}
+	var violations []string
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	var settled atomic.Int64
+	for id := 0; id < mutators; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			m := rt.NewMutator()
+			defer m.Detach()
+			rng := rand.New(rand.NewSource(seed + int64(id)))
+			for {
+				if err := churn(m, rng, 64); err != nil {
+					if !errors.Is(err, gengc.ErrClosed) {
+						mu.Lock()
+						violations = append(violations,
+							fmt.Sprintf("closerace: mutator %d: %v (want ErrClosed)", id, err))
+						mu.Unlock()
+					}
+					settled.Add(1)
+					return
+				}
+			}
+		}(id)
+	}
+	time.Sleep(50 * time.Millisecond)
+	done := make(chan struct{})
+	go func() {
+		var cwg sync.WaitGroup
+		for i := 0; i < 3; i++ {
+			cwg.Add(1)
+			go func() { defer cwg.Done(); rt.Close() }()
+		}
+		cwg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		violations = append(violations, "closerace: Close did not return within 30s")
+		return violations
+	}
+	wg.Wait()
+	if got := settled.Load(); got != int64(mutators) {
+		violations = append(violations,
+			fmt.Sprintf("closerace: %d/%d allocators settled with ErrClosed", got, mutators))
+	}
+	snap := rt.Snapshot()
+	fmt.Printf("%-9s cycles=%-4d fulls=%-3d stalls=%-3d aborted=%d\n",
+		"closerace", snap.Cycles, snap.Fulls, snap.Stalls, snap.AbortedCycles)
+	return violations
+}
+
+func main() {
+	var (
+		modeStr  = flag.String("mode", "gen", "collector: non|gen|aging")
+		seed     = flag.Int64("seed", 1, "campaign seed (the whole fault schedule derives from it)")
+		mutators = flag.Int("mutators", 4, "mutator goroutines per schedule")
+		rounds   = flag.Int("rounds", 2, "churn+audit rounds per schedule")
+		ops      = flag.Int("ops", 3000, "operations per mutator per round")
+		workers  = flag.Int("workers", 1, "collector workers (slowpool raises this to >= 3)")
+		verbose  = flag.Bool("v", false, "print per-point injection statistics")
+	)
+	flag.Parse()
+	mode, err := parseMode(*modeStr)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("gcchaos: seed=%d mode=%s mutators=%d rounds=%d ops=%d\n",
+		*seed, mode, *mutators, *rounds, *ops)
+	var violations []string
+	for i, s := range schedules(*workers) {
+		// Each schedule gets its own deterministic sub-seed so adding a
+		// schedule does not perturb the others.
+		violations = append(violations,
+			runSchedule(s, *seed*1000003+int64(i), mode, *mutators, *rounds, *ops, *workers, *verbose)...)
+	}
+	violations = append(violations, runCloseRace(*seed*1000003+997, mode, *mutators)...)
+
+	if len(violations) > 0 {
+		fmt.Fprintf(os.Stderr, "gcchaos: %d violation(s):\n", len(violations))
+		for _, v := range violations {
+			fmt.Fprintf(os.Stderr, "  %s\n", v)
+		}
+		os.Exit(1)
+	}
+	fmt.Println("gcchaos: OK")
+}

@@ -21,4 +21,33 @@ var (
 	// full collections — the live set plus the request exceed the
 	// configured heap.
 	ErrOutOfMemory = heap.ErrOutOfMemory
+
+	// ErrClosed is wrapped by allocation (and other mutator entry
+	// points) when the runtime has been Closed: the collector no
+	// longer runs, so an allocation that would need a collection can
+	// never succeed.
+	ErrClosed = gc.ErrClosed
+
+	// ErrStalled is wrapped by AllocCtx when the context expires while
+	// the mutator is waiting for a full collection to make room. The
+	// returned error also wraps the context's error, so both
+	// errors.Is(err, ErrStalled) and errors.Is(err,
+	// context.DeadlineExceeded) hold.
+	ErrStalled = gc.ErrStalled
 )
+
+// OOMPanic is the panic value of MustAlloc: a typed wrapper so that a
+// recover site can distinguish heap exhaustion from an unrelated panic
+// and still reach the underlying error chain (Err wraps
+// ErrOutOfMemory, or ErrClosed when the runtime was shut down).
+type OOMPanic struct {
+	// Err is the allocation error MustAlloc would have returned.
+	Err error
+}
+
+// Error makes the panic value readable when it escapes to a crash
+// report.
+func (p *OOMPanic) Error() string { return "gengc: MustAlloc: " + p.Err.Error() }
+
+// Unwrap exposes the allocation error to errors.Is/errors.As.
+func (p *OOMPanic) Unwrap() error { return p.Err }

@@ -52,6 +52,7 @@
 package gengc
 
 import (
+	"context"
 	"expvar"
 	"fmt"
 	"io"
@@ -149,9 +150,25 @@ func NewManual(opts ...Option) (*Runtime, error) {
 	return &Runtime{c: c}, nil
 }
 
-// Close stops the collector goroutine. Mutators must be detached (or
-// quiescent) first.
+// Close stops the collector goroutine and flushes the trace sink. It
+// is idempotent and safe to call concurrently with running mutators:
+// further allocations fail with an error wrapping ErrClosed, a
+// collection in flight is given one stall-timeout of grace to finish
+// its handshakes and otherwise abandoned without sweeping (no object is
+// ever freed on the strength of an incomplete trace), and concurrent
+// Close calls all wait for the shutdown to complete.
 func (r *Runtime) Close() { r.c.Stop() }
+
+// StallEvent is one handshake-watchdog report: a mutator that had not
+// passed a safe point within the configured stall timeout
+// (WithStallTimeout) while the collector was waiting on it.
+type StallEvent = gc.Stall
+
+// OnStall registers fn to receive every watchdog report (at most one
+// observer; nil removes it). fn runs on the collector goroutine and
+// must not block. The same reports also raise Snapshot.Stalls and emit
+// "stall" trace events, so polling and tracing work without a callback.
+func (r *Runtime) OnStall(fn func(StallEvent)) { r.c.OnStall(fn) }
 
 // NewMutator attaches a mutator. Each mutator must be used by a single
 // goroutine.
@@ -187,6 +204,23 @@ type Snapshot struct {
 	HeapBytes   int64 // allocated bytes (live + floating garbage)
 	HeapObjects int64 // allocated objects
 
+	// Stalls counts handshake-watchdog reports: mutators that missed
+	// the stall deadline while the collector waited on them (see
+	// WithStallTimeout and OnStall).
+	Stalls int64
+
+	// AbortedCycles counts collections abandoned at Close because a
+	// handshake stayed wedged past the grace period.
+	AbortedCycles int64
+
+	// TraceDrops counts trace events lost so far — ring overflow plus
+	// events discarded after sink degradation. TraceDegraded reports
+	// whether the trace sink has been cut off after repeated failures
+	// (the runtime keeps running; events become counted drops). Both
+	// are zero without WithTraceSink.
+	TraceDrops    int64
+	TraceDegraded bool
+
 	// Fleet aggregates every pause ever recorded (Mutator == -1);
 	// Mutators holds one entry per currently attached mutator. Both are
 	// zero-valued when pause accounting is off (WithPauseHistograms).
@@ -199,12 +233,16 @@ type Snapshot struct {
 func (r *Runtime) Snapshot() Snapshot {
 	fleet, per := r.c.PauseStats()
 	return Snapshot{
-		Cycles:      r.c.CyclesDone(),
-		Fulls:       r.c.FullsDone(),
-		HeapBytes:   r.c.H.AllocatedBytes(),
-		HeapObjects: r.c.H.AllocatedObjects(),
-		Fleet:       fleet,
-		Mutators:    per,
+		Cycles:        r.c.CyclesDone(),
+		Fulls:         r.c.FullsDone(),
+		HeapBytes:     r.c.H.AllocatedBytes(),
+		HeapObjects:   r.c.H.AllocatedObjects(),
+		Stalls:        r.c.Stalls(),
+		AbortedCycles: r.c.AbortedCycles(),
+		TraceDrops:    r.c.TraceDrops(),
+		TraceDegraded: r.c.TraceDegraded(),
+		Fleet:         fleet,
+		Mutators:      per,
 	}
 }
 
@@ -262,20 +300,32 @@ type Mutator struct {
 // total size of at least size bytes (pass 0 for the minimal size). The
 // new object is colored with the current allocation color, per the
 // paper's create routine. On heap exhaustion the mutator transparently
-// waits for a full collection and retries; the returned error is
-// non-nil only when even repeated full collections cannot make room,
-// and then satisfies errors.Is(err, ErrOutOfMemory).
+// waits for a full collection and retries, up to WithAllocRetries
+// rounds; the returned error then satisfies errors.Is(err,
+// ErrOutOfMemory). On a Closed runtime the error wraps ErrClosed.
 func (m *Mutator) Alloc(slots, size int) (Ref, error) {
 	return m.m.Alloc(slots, size)
 }
 
-// MustAlloc is Alloc that panics on out-of-memory (the panic value is
-// the error wrapping ErrOutOfMemory); convenient in examples and
+// AllocCtx is Alloc with a deadline: the wait for a full collection to
+// make room observes ctx, so a cancellation or deadline bounds how long
+// an allocation may stall instead of blocking for as many collection
+// rounds as the retry budget allows. When ctx expires mid-wait the
+// error wraps both ErrStalled and ctx.Err(). The non-blocking fast path
+// costs one extra ctx.Err check over Alloc.
+func (m *Mutator) AllocCtx(ctx context.Context, slots, size int) (Ref, error) {
+	return m.m.AllocCtx(ctx, slots, size)
+}
+
+// MustAlloc is Alloc that panics on failure; convenient in examples and
 // workloads where exhausting the heap indicates a configuration error.
+// The panic value is an *OOMPanic wrapping the allocation error, so a
+// recover site can match it with errors.As and reach ErrOutOfMemory
+// (or ErrClosed) through its chain.
 func (m *Mutator) MustAlloc(slots, size int) Ref {
 	r, err := m.m.Alloc(slots, size)
 	if err != nil {
-		panic(err)
+		panic(&OOMPanic{Err: err})
 	}
 	return r
 }

@@ -1,0 +1,313 @@
+// Package fault is a deterministic, seeded fault-injection layer for
+// the collector's chaos testing. Named injection points are threaded
+// through the runtime's coordination seams (handshake posting and
+// acknowledgement, safe-point cooperation, trace-worker stealing, sweep
+// shards, allocation, trace-sink writes); an armed Injector decides at
+// each hit whether to delay the caller, drop the operation once, or
+// fail it, with a configured probability drawn from a reproducible
+// per-point PRNG stream.
+//
+// Determinism: every injection point owns its own PRNG stream, derived
+// from the campaign seed and the point's identity. The k-th hit at a
+// point therefore always receives the same decision for the same seed
+// and rule set, regardless of how the scheduler interleaves the other
+// points — re-running a campaign with the same seed reproduces the
+// identical per-point fault schedule.
+//
+// Cost when disabled: the collector holds a nil *Injector and every
+// call site guards with a single pointer comparison, so an unarmed
+// build pays nothing on its hot paths. All Injector methods are also
+// nil-receiver safe and return zero decisions.
+package fault
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Point names one injection point in the runtime.
+type Point int
+
+const (
+	// HandshakePost fires in the collector before it publishes a new
+	// handshake status (delay only: the status store itself must
+	// happen, so Drop/Fail rules are coerced to their Delay).
+	HandshakePost Point = iota
+
+	// HandshakeAck fires in the collector at the start of every
+	// trace-termination acknowledgement round (delay only).
+	HandshakeAck
+
+	// Cooperate fires in a mutator's safe point when it has a pending
+	// handshake or acknowledgement to respond to: Delay stalls the
+	// mutator before it responds (the stalled-mutator scenario the
+	// watchdog must surface); Drop and Fail skip this response — the
+	// mutator answers at its next safe point instead.
+	Cooperate
+
+	// TraceSteal fires when a dry trace worker is about to scan its
+	// victims: Delay simulates a slow worker, Drop/Fail skip one
+	// steal scan.
+	TraceSteal
+
+	// SweepShard fires once per claimed sweep chunk (delay only:
+	// skipping a shard would leave dead cells unreclaimed and stale
+	// block hints behind).
+	SweepShard
+
+	// Alloc fires in the allocation path: Drop/Fail simulate a
+	// transient out-of-memory, driving the mutator into the
+	// full-collection retry path; Delay stalls the allocation.
+	Alloc
+
+	// SinkWrite fires when the tracer drains its rings into the
+	// configured sink: Drop/Fail simulate a sink write failure (the
+	// drained events are counted as dropped and the degradation
+	// counter advances), Delay a slow sink.
+	SinkWrite
+
+	// NumPoints is the number of injection points.
+	NumPoints
+)
+
+func (p Point) String() string {
+	switch p {
+	case HandshakePost:
+		return "handshake-post"
+	case HandshakeAck:
+		return "handshake-ack"
+	case Cooperate:
+		return "cooperate"
+	case TraceSteal:
+		return "trace-steal"
+	case SweepShard:
+		return "sweep-shard"
+	case Alloc:
+		return "alloc"
+	case SinkWrite:
+		return "sink-write"
+	}
+	return fmt.Sprintf("point(%d)", int(p))
+}
+
+// Kind is what a rule does to the operation when it fires.
+type Kind int
+
+const (
+	// Delay pauses the caller for Rule.Delay before the operation
+	// proceeds.
+	Delay Kind = iota
+
+	// Drop suppresses the operation this time; the caller skips it
+	// and retries through its normal path (a missed safe-point
+	// response, a skipped steal scan).
+	Drop
+
+	// Fail makes the operation report failure to its caller (a
+	// transient allocation failure, a sink write error).
+	Fail
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Delay:
+		return "delay"
+	case Drop:
+		return "drop"
+	case Fail:
+		return "fail"
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// Rule arms one behavior at one injection point.
+type Rule struct {
+	// Point is the injection point the rule applies to.
+	Point Point
+
+	// Kind is the injected behavior.
+	Kind Kind
+
+	// P is the per-hit firing probability in (0, 1]; 0 is treated as
+	// "always" (1.0) so the zero value of a partially filled rule
+	// still does something.
+	P float64
+
+	// Delay is the injected pause for Delay rules (and the fallback
+	// behavior at points that coerce Drop/Fail to a delay).
+	Delay time.Duration
+
+	// Count bounds how many times the rule fires before it disarms;
+	// 0 means unlimited. Count == 1 is the "drop-once" /
+	// "fail-once" form.
+	Count int
+}
+
+// Decision is the merged outcome of all rules that fired at one hit.
+type Decision struct {
+	// Delay is the total injected pause the caller should apply (the
+	// Inject convenience sleeps it for you).
+	Delay time.Duration
+
+	// Drop tells the caller to skip the operation this time.
+	Drop bool
+
+	// Fail tells the caller to fail the operation.
+	Fail bool
+}
+
+// PointStats is one injection point's campaign accounting.
+type PointStats struct {
+	Point Point
+	Hits  int64 // times the point was evaluated
+	Fired int64 // times at least one rule fired
+}
+
+// pointState is one point's rules and PRNG stream. Each point has its
+// own lock so concurrent hits at different points never contend, and
+// its own rand stream so decisions depend only on (seed, point, hit
+// index within the point), never on cross-point interleaving.
+type pointState struct {
+	mu    sync.Mutex
+	rng   *rand.Rand
+	rules []Rule
+	hits  int64
+	fired int64
+}
+
+// Injector holds the armed rules for one chaos campaign. The zero
+// value is not usable; construct with New. A nil *Injector is the
+// disabled state: every method is nil-safe and decides nothing.
+type Injector struct {
+	seed   int64
+	points [NumPoints]pointState
+}
+
+// New returns an injector whose per-point streams derive from seed.
+// No rules are armed yet; Install them.
+func New(seed int64) *Injector {
+	in := &Injector{seed: seed}
+	for p := range in.points {
+		// splitmix-style per-point seed derivation: points must not
+		// share a stream, or the schedule at one point would depend
+		// on how often another point is hit.
+		s := uint64(seed) + uint64(p+1)*0x9e3779b97f4a7c15
+		s ^= s >> 30
+		s *= 0xbf58476d1ce4e5b9
+		s ^= s >> 27
+		in.points[p].rng = rand.New(rand.NewSource(int64(s)))
+	}
+	return in
+}
+
+// Seed returns the campaign seed the injector was built from.
+func (in *Injector) Seed() int64 {
+	if in == nil {
+		return 0
+	}
+	return in.seed
+}
+
+// Install arms one rule. Rules at the same point are evaluated in
+// installation order on every hit.
+func (in *Injector) Install(r Rule) {
+	if in == nil {
+		return
+	}
+	if r.Point < 0 || r.Point >= NumPoints {
+		panic(fmt.Sprintf("fault: rule for unknown point %d", int(r.Point)))
+	}
+	if r.P == 0 {
+		r.P = 1
+	}
+	st := &in.points[r.Point]
+	st.mu.Lock()
+	st.rules = append(st.rules, r)
+	st.mu.Unlock()
+}
+
+// At evaluates point p for one hit and returns the merged decision of
+// every rule that fired. Nil-safe: a nil injector decides nothing.
+func (in *Injector) At(p Point) Decision {
+	var d Decision
+	if in == nil {
+		return d
+	}
+	st := &in.points[p]
+	st.mu.Lock()
+	st.hits++
+	fired := false
+	kept := st.rules[:0]
+	for _, r := range st.rules {
+		hit := r.P >= 1 || st.rng.Float64() < r.P
+		if hit {
+			fired = true
+			switch r.Kind {
+			case Delay:
+				d.Delay += r.Delay
+			case Drop:
+				d.Drop = true
+			case Fail:
+				d.Fail = true
+			}
+			if r.Count > 0 {
+				r.Count--
+				if r.Count == 0 {
+					continue // exhausted: disarm
+				}
+			}
+		}
+		kept = append(kept, r)
+	}
+	st.rules = kept
+	if fired {
+		st.fired++
+	}
+	st.mu.Unlock()
+	return d
+}
+
+// Inject is the call-site convenience: it evaluates point p, sleeps
+// any injected delay, and reports whether the operation should be
+// dropped or failed. Nil-safe.
+func (in *Injector) Inject(p Point) (drop, fail bool) {
+	if in == nil {
+		return false, false
+	}
+	d := in.At(p)
+	if d.Delay > 0 {
+		time.Sleep(d.Delay)
+	}
+	return d.Drop, d.Fail
+}
+
+// Stats returns per-point hit/fire counts for every point that was
+// evaluated or armed at least once.
+func (in *Injector) Stats() []PointStats {
+	if in == nil {
+		return nil
+	}
+	var out []PointStats
+	for p := range in.points {
+		st := &in.points[p]
+		st.mu.Lock()
+		if st.hits > 0 || len(st.rules) > 0 || st.fired > 0 {
+			out = append(out, PointStats{Point: Point(p), Hits: st.hits, Fired: st.fired})
+		}
+		st.mu.Unlock()
+	}
+	return out
+}
+
+// Fired returns how many hits at p fired at least one rule.
+func (in *Injector) Fired(p Point) int64 {
+	if in == nil {
+		return 0
+	}
+	st := &in.points[p]
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.fired
+}

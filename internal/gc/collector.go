@@ -5,8 +5,10 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"gengc/internal/card"
+	"gengc/internal/fault"
 	"gengc/internal/heap"
 	"gengc/internal/metrics"
 	"gengc/internal/trace"
@@ -155,9 +157,50 @@ type Collector struct {
 	// fleet-wide pause statistics cover the runtime's whole history.
 	retired *metrics.Histogram
 
-	stopCh  chan struct{}
-	doneCh  chan struct{}
-	started atomic.Bool
+	// flt is the armed fault injector (cfg.Fault); nil in production,
+	// so every injection point costs one pointer comparison.
+	flt *fault.Injector
+
+	// stalls counts handshake watchdog reports; abortedCycles counts
+	// cycles abandoned because Stop found the handshake wedged.
+	stalls        atomic.Int64
+	abortedCycles atomic.Int64
+
+	// onStall is the watchdog's observer (set via OnStall).
+	onStall struct {
+		sync.Mutex
+		fn func(Stall)
+	}
+
+	// selfCheck retains inter-cycle audit results (Config.SelfCheck).
+	selfCheck struct {
+		sync.Mutex
+		violations int64
+		firstErr   error
+	}
+
+	stopCh   chan struct{}
+	doneCh   chan struct{}
+	started  atomic.Bool
+	closed   atomic.Bool
+	stopOnce sync.Once
+}
+
+// Stall describes one watchdog report: a mutator that had not reached a
+// safe point within the configured StallTimeout while the collector
+// waited on it.
+type Stall struct {
+	// Mutator is the id of the unresponsive mutator.
+	Mutator int
+
+	// Phase is the wait the mutator is stalling: "sync1", "sync2",
+	// "sync3" (the three handshake rounds) or "ack" (a
+	// trace-termination acknowledgement round).
+	Phase string
+
+	// Waited is how long the collector had been waiting when the
+	// stall was reported.
+	Waited time.Duration
 }
 
 // New builds a collector and its heap. Start must be called before any
@@ -177,9 +220,10 @@ func New(cfg Config) (*Collector, error) {
 		return nil, err
 	}
 	c := &Collector{H: h, Cards: ct, cfg: cfg, rec: metrics.NewRecorder(),
-		retired: &metrics.Histogram{}}
+		retired: &metrics.Histogram{}, flt: cfg.Fault}
 	if cfg.TraceSink != nil {
 		c.tracer = trace.New(cfg.TraceSink)
+		c.tracer.SetInjector(c.flt)
 		c.ring = c.tracer.NewRing()
 	}
 	if cfg.TrackPages || cfg.PageCostSpins > 0 {
@@ -242,21 +286,112 @@ func (c *Collector) Start() {
 	go c.run()
 }
 
-// Stop terminates the background collector goroutine (after any cycle in
-// progress completes) and performs the final trace flush. It is
-// idempotent.
+// Stop terminates the collector: it marks the runtime closed (pending
+// and future allocations fail with ErrClosed instead of waiting on
+// collections that will never run), stops the background goroutine,
+// drains any cycle in flight, and performs the final trace flush.
+//
+// Stop is idempotent and safe to call concurrently — with other Stop
+// calls, with allocating mutators, and with a collection mid-handshake.
+// A cycle whose handshake is wedged on an unresponsive mutator is
+// granted one StallTimeout of grace and then aborted: the collector
+// converges the handshake state and skips the sweep, so no object is
+// ever freed on the strength of an incomplete trace (the aborted
+// cycle's floating garbage is irrelevant at shutdown).
 func (c *Collector) Stop() {
+	c.closed.Store(true)
+	c.stopOnce.Do(func() { close(c.stopCh) })
 	if c.started.Load() {
-		select {
-		case <-c.stopCh:
-		default:
-			close(c.stopCh)
-		}
 		<-c.doneCh
 	}
+	// Drain a synchronous CollectNow that may still hold the cycle
+	// lock (tests and the manual-runtime OOM path run cycles on
+	// helper goroutines).
+	c.cycleMu.Lock()
+	c.cycleMu.Unlock()
 	if c.tracer != nil {
 		c.tracer.Close()
 	}
+}
+
+// Closed reports whether Stop has been initiated.
+func (c *Collector) Closed() bool { return c.closed.Load() }
+
+// Stalls returns how many stalled-mutator reports the handshake
+// watchdog has issued.
+func (c *Collector) Stalls() int64 { return c.stalls.Load() }
+
+// AbortedCycles returns how many collection cycles were abandoned by a
+// close racing a wedged handshake.
+func (c *Collector) AbortedCycles() int64 { return c.abortedCycles.Load() }
+
+// TraceDegraded reports whether the trace sink failed and was isolated
+// (events since are counted as drops instead of wedging producers).
+func (c *Collector) TraceDegraded() bool {
+	return c.tracer != nil && c.tracer.Degraded()
+}
+
+// TraceDrops returns the total trace events lost so far — ring
+// overflows plus events discarded after sink degradation.
+func (c *Collector) TraceDrops() int64 {
+	if c.tracer == nil {
+		return 0
+	}
+	return c.tracer.Drops()
+}
+
+// OnStall registers fn to receive every handshake watchdog report. fn
+// runs on the collector goroutine mid-handshake — it must not block and
+// must not touch the runtime. A nil fn removes the observer; there is
+// at most one.
+func (c *Collector) OnStall(fn func(Stall)) {
+	c.onStall.Lock()
+	c.onStall.fn = fn
+	c.onStall.Unlock()
+}
+
+// notifyStall fans one watchdog report out to the three surfaces:
+// counter, trace event, callback.
+func (c *Collector) notifyStall(s Stall) {
+	c.stalls.Add(1)
+	if c.tracer != nil {
+		c.ring.Emit(trace.Event{
+			Ev:     "stall",
+			T:      c.tracer.Rel(time.Now().Add(-s.Waited)),
+			D:      s.Waited.Nanoseconds(),
+			Cycle:  c.cyclesDone.Load() + 1,
+			Worker: s.Mutator,
+			K:      s.Phase,
+		})
+	}
+	c.onStall.Lock()
+	fn := c.onStall.fn
+	c.onStall.Unlock()
+	if fn != nil {
+		fn(s)
+	}
+}
+
+// recordSelfCheckViolation retains an inter-cycle audit failure.
+func (c *Collector) recordSelfCheckViolation(err error) {
+	c.selfCheck.Lock()
+	c.selfCheck.violations++
+	if c.selfCheck.firstErr == nil {
+		c.selfCheck.firstErr = err
+	}
+	c.selfCheck.Unlock()
+	if c.cfg.Log != nil {
+		fmt.Fprintf(c.cfg.Log, "gc: SELF-CHECK VIOLATION: %v\n", err)
+	}
+}
+
+// SelfCheckErr returns the first inter-cycle self-check violation and
+// how many occurred (both zero when clean or when Config.SelfCheck is
+// off).
+func (c *Collector) SelfCheckErr() (error, int64) {
+	c.selfCheck.Lock()
+	defer c.selfCheck.Unlock()
+	return c.selfCheck.firstErr, c.selfCheck.violations
 }
 
 // run is the collector goroutine: it waits for a trigger and runs one
@@ -388,7 +523,11 @@ func (c *Collector) adjustTenure() {
 
 // CollectNow runs one synchronous collection cycle on the calling
 // goroutine. The caller must not be a mutator (a mutator would deadlock
-// the handshakes; mutators use (*Mutator).Collect instead).
+// the handshakes; mutators use (*Mutator).Collect instead). On a
+// stopped collector it is a no-op.
 func (c *Collector) CollectNow(full bool) {
+	if c.closed.Load() {
+		return
+	}
 	c.Cycle(full || c.cfg.Mode == NonGenerational)
 }

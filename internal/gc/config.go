@@ -16,8 +16,10 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"time"
 
 	"gengc/internal/card"
+	"gengc/internal/fault"
 	"gengc/internal/trace"
 )
 
@@ -25,6 +27,17 @@ import (
 // so callers can detect the class with errors.Is and still read the
 // offending field from the message.
 var ErrInvalidConfig = errors.New("invalid configuration")
+
+// ErrClosed is wrapped by operations attempted on (or interrupted by) a
+// stopped collector: an allocation after Stop, or an allocation wait
+// that Stop cut short.
+var ErrClosed = errors.New("runtime closed")
+
+// ErrStalled is wrapped by waits that gave up because the collector
+// could not make progress within the caller's deadline — an AllocCtx
+// whose context expired while waiting for a full collection to free
+// memory.
+var ErrStalled = errors.New("collector stalled")
 
 // Mode selects which of the paper's collectors runs.
 type Mode int
@@ -164,6 +177,37 @@ type Config struct {
 	// it was in the paper.
 	PageCostSpins int
 
+	// StallTimeout is the handshake watchdog deadline: when a mutator
+	// has not responded to a posted handshake (or acknowledgement
+	// round) for this long, the collector reports it — a "stall"
+	// trace event, the OnStall callback, and the Stalls snapshot
+	// counter — instead of spinning blind, then keeps waiting. It is
+	// also the grace period a closing collector grants a wedged
+	// handshake before aborting the cycle (see Stop). 0 selects the
+	// default (1s); negative disables the watchdog (Stop then uses
+	// the default as its abort grace).
+	StallTimeout time.Duration
+
+	// AllocRetries bounds the allocation slow path: how many
+	// full-collection waits a mutator performs before Alloc gives up
+	// and returns ErrOutOfMemory. 0 selects the default (3).
+	AllocRetries int
+
+	// SelfCheck runs an inter-cycle invariant audit on the collector
+	// goroutine at the end of every completed cycle: allocator
+	// bookkeeping, no leftover gray objects, quiesced trace state.
+	// Unlike Verify it tolerates running mutators, so chaos campaigns
+	// can audit every cycle without quiescing. Violations are counted
+	// and the first is retained (SelfCheckErr).
+	SelfCheck bool
+
+	// Fault, when non-nil, arms the deterministic fault-injection
+	// layer: the injector's rules fire at the collector's named
+	// seams (package fault documents the points and their
+	// semantics). Nil — the default — leaves every injection point a
+	// single pointer comparison.
+	Fault *fault.Injector
+
 	// Log, when non-nil, receives one line per collection cycle.
 	Log io.Writer
 
@@ -213,6 +257,12 @@ func (c Config) withDefaults() Config {
 	if c.Workers == 0 {
 		c.Workers = 1
 	}
+	if c.StallTimeout == 0 {
+		c.StallTimeout = time.Second
+	}
+	if c.AllocRetries == 0 {
+		c.AllocRetries = 3
+	}
 	return c
 }
 
@@ -242,6 +292,9 @@ func (c Config) validate() error {
 	}
 	if c.Workers < 1 || c.Workers > 256 {
 		return fmt.Errorf("gc: %w: worker count %d out of [1,256]", ErrInvalidConfig, c.Workers)
+	}
+	if c.AllocRetries < 1 || c.AllocRetries > 1000 {
+		return fmt.Errorf("gc: %w: allocation retry bound %d out of [1,1000]", ErrInvalidConfig, c.AllocRetries)
 	}
 	if c.UseRememberedSet && c.Mode != Generational {
 		return fmt.Errorf("gc: %w: remembered set requires the simple generational mode", ErrInvalidConfig)

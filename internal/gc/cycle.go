@@ -46,7 +46,10 @@ func (c *Collector) Cycle(full bool) {
 	c.tracing.Store(true)
 	c.phase.Store(uint32(phaseTracing))
 	syncStart := time.Now()
-	c.handshake(StatusSync1)
+	if !c.handshake(StatusSync1) {
+		c.abortCycle(start, "sync1")
+		return
+	}
 	c.cyc.Sync1Time = time.Since(syncStart)
 	c.emit("sync", syncStart, "sync1", 0, 0)
 
@@ -84,7 +87,10 @@ func (c *Collector) Cycle(full bool) {
 			c.switchColors()
 		}
 	}
-	c.waitHandshake()
+	if !c.waitHandshake() {
+		c.abortCycle(start, "sync2")
+		return
+	}
 	c.cyc.Sync2Time = time.Since(sync2Start)
 	c.emit("sync", sync2Start, "sync2", 0, 0)
 
@@ -97,14 +103,20 @@ func (c *Collector) Cycle(full bool) {
 	// but the globals object must act as a first-class root.
 	c.collectorMarkGray(c.globals)
 	c.collectorShadeFrom(c.globals, heap.Black)
-	c.waitHandshake()
+	if !c.waitHandshake() {
+		c.abortCycle(start, "sync3")
+		return
+	}
 	c.cyc.Sync3Time = time.Since(sync3Start)
 	c.emit("sync", sync3Start, "sync3", 0, 0)
 	c.cyc.HandshakeTime = time.Since(syncStart)
 
 	// --- trace ---
 	traceStart := time.Now()
-	c.trace()
+	if !c.trace() {
+		c.abortCycle(start, "trace")
+		return
+	}
 	c.cyc.TraceTime = time.Since(traceStart)
 	c.emit("trace", traceStart, "", int64(c.cyc.ObjectsScanned), 0)
 
@@ -166,5 +178,32 @@ func (c *Collector) Cycle(full bool) {
 	c.cyclesDone.Add(1)
 	if full {
 		c.fullsDone.Add(1)
+	}
+	if c.cfg.SelfCheck {
+		if err := c.selfCheckCycle(); err != nil {
+			c.recordSelfCheckViolation(fmt.Errorf("after %s cycle %d: %w",
+				kind, c.cyclesDone.Load(), err))
+		}
+	}
+}
+
+// abortCycle abandons a collection whose handshake was wedged past the
+// close grace period (Stop). It never runs outside a close: the abort
+// converges the protocol state — status back to async, trace predicate
+// off — and skips the sweep entirely, so no object is freed on the
+// strength of the incomplete trace. Objects left gray or unswept are
+// floating garbage the closing runtime never needs back.
+func (c *Collector) abortCycle(start time.Time, phase string) {
+	c.postHandshake(StatusAsync)
+	c.tracing.Store(false)
+	c.phase.Store(uint32(phaseIdle))
+	c.markStack = c.markStack[:0]
+	c.tracePending.Store(0)
+	c.abortedCycles.Add(1)
+	c.emit("cycleabort", start, phase, 0, 0)
+	c.flushTrace()
+	if c.cfg.Log != nil {
+		fmt.Fprintf(c.cfg.Log, "gc: cycle aborted at close (wedged in %s after %v)\n",
+			phase, time.Since(start).Round(time.Millisecond))
 	}
 }

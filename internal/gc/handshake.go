@@ -3,6 +3,8 @@ package gc
 import (
 	"runtime"
 	"time"
+
+	"gengc/internal/fault"
 )
 
 // Polling parameters for the collector's wait loops. The paper
@@ -19,26 +21,122 @@ const (
 	handshakeYieldBudget = 1 << 15 // Gosched calls before sleeping
 	handshakeSleepMin    = time.Microsecond
 	handshakeSleepMax    = 100 * time.Microsecond
+
+	// watchdogCheckMask gates the watchdog's clock reads while the
+	// wait is still in its yield phase: the stall deadline is checked
+	// once per this many iterations, keeping the hot spin loop free
+	// of time.Now calls. Once the wait falls back to sleeping, every
+	// iteration already pays a sleep — whose true wall cost is timer
+	// granularity, often ~1ms — so the gate is bypassed there: at one
+	// check per 256 sleeps the watchdog would only look every ~250ms
+	// and miss short stalls entirely.
+	watchdogCheckMask = 255
 )
 
 // postHandshake publishes a new collector status; mutators observe it at
 // their next safe point and update their own status.
 func (c *Collector) postHandshake(s Status) {
+	if c.flt != nil {
+		// Delay-only point: the publication itself must happen, so a
+		// Drop/Fail rule here degrades to its configured delay.
+		c.flt.Inject(fault.HandshakePost)
+	}
 	c.statusC.Store(uint32(s))
 }
 
-// waitHandshake blocks until every attached mutator has responded to the
-// last posted status. Mutators attached mid-wait adopt the posted status
-// on attach, so they never stall the handshake; detached mutators are
-// skipped.
-func (c *Collector) waitHandshake() {
+// stallWatch tracks one wait's watchdog state: when the wait began,
+// which mutators were already reported, and the iteration gate.
+type stallWatch struct {
+	phase    string
+	start    time.Time
+	reported map[int]bool
+	iter     int
+}
+
+// newWatch opens a watchdog window for one handshake or ack wait. The
+// clock is read once here; the per-iteration cost until a deadline
+// fires is one counter increment and mask test.
+func (c *Collector) newWatch(phase string) stallWatch {
+	return stallWatch{phase: phase, start: time.Now()}
+}
+
+// watchdog runs the stall check once per gated iteration (every
+// iteration when slow is set — the wait is already sleeping between
+// polls). lagging reports whether a mutator has yet to respond to the
+// wait in progress. It returns true when the wait must be abandoned:
+// the collector is closing and the handshake has been wedged past its
+// grace period — the caller aborts the cycle (Stop documents why that
+// is safe).
+func (c *Collector) watchdog(w *stallWatch, lagging func(*Mutator) bool, slow bool) (abort bool) {
+	w.iter++
+	if !slow && w.iter&watchdogCheckMask != 0 {
+		return false
+	}
+	deadline := c.cfg.StallTimeout
+	closing := c.closed.Load()
+	if deadline <= 0 && !closing {
+		return false // watchdog disabled, nothing to time
+	}
+	elapsed := time.Since(w.start)
+	grace := deadline
+	if grace <= 0 {
+		grace = time.Second
+	}
+	if closing && elapsed > grace {
+		return true
+	}
+	if deadline <= 0 || elapsed < deadline {
+		return false
+	}
+	// Past the deadline: report every laggard exactly once per wait.
+	c.muts.Lock()
+	snapshot := append([]*Mutator(nil), c.muts.list...)
+	c.muts.Unlock()
+	for _, m := range snapshot {
+		if m.detached.Load() || !lagging(m) || w.reported[m.id] {
+			continue
+		}
+		if w.reported == nil {
+			w.reported = make(map[int]bool)
+		}
+		w.reported[m.id] = true
+		c.notifyStall(Stall{Mutator: m.id, Phase: w.phase, Waited: elapsed})
+	}
+	return false
+}
+
+// waitHandshake blocks until every attached mutator has responded to
+// the last posted status, watched by the stall watchdog. Mutators
+// attached mid-wait adopt the posted status on attach, so they never
+// stall the handshake; detached mutators are skipped. The false return
+// is the close-abort path: the collector is stopping and a mutator
+// stayed unresponsive past the grace period.
+func (c *Collector) waitHandshake() bool {
 	target := c.statusC.Load()
+	w := c.newWatch(phaseLabel(Status(target)))
+	lagging := func(m *Mutator) bool { return m.status.Load() != target }
 	for spin := 0; ; spin++ {
 		if c.allMutatorsAt(target) {
-			return
+			return true
+		}
+		if c.watchdog(&w, lagging, spin >= handshakeYieldBudget) {
+			return false
 		}
 		yieldOrSleep(spin)
 	}
+}
+
+// phaseLabel names the wait for stall reports: the three handshake
+// rounds wait for sync1, sync2 and async (the paper's third handshake)
+// respectively.
+func phaseLabel(target Status) string {
+	switch target {
+	case StatusSync1:
+		return "sync1"
+	case StatusSync2:
+		return "sync2"
+	}
+	return "sync3"
 }
 
 // yieldOrSleep cedes the processor while polling mutators: Gosched lets
@@ -77,24 +175,36 @@ func (c *Collector) allMutatorsAt(target uint32) bool {
 }
 
 // handshake is the combined post-and-wait of Figure 3.
-func (c *Collector) handshake(s Status) {
+func (c *Collector) handshake(s Status) bool {
 	c.postHandshake(s)
-	c.waitHandshake()
+	return c.waitHandshake()
 }
 
 // ackRound asks every mutator to pass one safe point and waits for it.
 // It closes the trace-termination race: when a mutator acknowledges the
 // epoch, every gray transition it performed before the acknowledgement
 // is visible in its gray buffer. Each round's latency is recorded in
-// the cycle record and emitted as an "ack" trace event.
-func (c *Collector) ackRound() {
+// the cycle record and emitted as an "ack" trace event. Like
+// waitHandshake it is watched by the stall watchdog and returns false
+// only on the close-abort path.
+func (c *Collector) ackRound() bool {
+	if c.flt != nil {
+		// Delay-only point (a Drop/Fail rule degrades to its delay):
+		// the epoch bump must happen or the round never completes.
+		c.flt.Inject(fault.HandshakeAck)
+	}
 	start := time.Now()
 	e := c.ackEpoch.Add(1)
+	w := c.newWatch("ack")
+	lagging := func(m *Mutator) bool { return m.ack.Load() < e }
 	for spin := 0; ; spin++ {
 		if c.allMutatorsAcked(e) {
 			c.cyc.AckRounds++
 			c.emit("ack", start, "", e, 0)
-			return
+			return true
+		}
+		if c.watchdog(&w, lagging, spin >= handshakeYieldBudget) {
+			return false
 		}
 		yieldOrSleep(spin)
 	}

@@ -1,12 +1,14 @@
 package gc
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"gengc/internal/fault"
 	"gengc/internal/heap"
 	"gengc/internal/metrics"
 	"gengc/internal/trace"
@@ -145,6 +147,15 @@ func (m *Mutator) Cooperate() {
 	ackPending := m.c.ackEpoch.Load() != m.ack.Load()
 	if !statusChanged && !ackPending {
 		return
+	}
+	if in := m.c.flt; in != nil {
+		// The injection point for the stalled-mutator scenario: a
+		// Delay rule holds this thread right when the collector is
+		// waiting on it (the watchdog must surface that); Drop/Fail
+		// skip this response — the next safe point answers instead.
+		if drop, fail := in.Inject(fault.Cooperate); drop || fail {
+			return
+		}
 	}
 	start := m.pauseStart()
 	cause := "ack"
@@ -322,15 +333,49 @@ func (m *Mutator) Read(x heap.Addr, i int) heap.Addr {
 //
 // When the heap is exhausted the mutator requests a full collection and
 // waits for it while continuing to cooperate with handshakes (a blocked
-// mutator that stopped responding would deadlock the collector).
+// mutator that stopped responding would deadlock the collector). The
+// number of collect-and-retry rounds is bounded by Config.AllocRetries;
+// past it the error wraps heap.ErrOutOfMemory. On a stopped collector
+// the error wraps ErrClosed.
 func (m *Mutator) Alloc(slots, size int) (heap.Addr, error) {
+	return m.alloc(nil, slots, size)
+}
+
+// AllocCtx is Alloc bounded by a context: the OOM wait for a full
+// collection observes ctx, so a deadline or cancellation turns an
+// indefinite allocation stall into an error. A context that expires
+// while waiting yields an error wrapping both ErrStalled and ctx.Err();
+// the fast path costs one extra ctx.Err check over Alloc.
+func (m *Mutator) AllocCtx(ctx context.Context, slots, size int) (heap.Addr, error) {
+	return m.alloc(ctx, slots, size)
+}
+
+// alloc is the shared allocation path; ctx may be nil (Alloc).
+func (m *Mutator) alloc(ctx context.Context, slots, size int) (heap.Addr, error) {
 	for attempt := 0; ; attempt++ {
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return 0, fmt.Errorf("gc: mutator %d: allocation: %w", m.id, err)
+			}
+		}
+		if m.c.closed.Load() {
+			return 0, fmt.Errorf("gc: mutator %d: allocation: %w", m.id, ErrClosed)
+		}
 		var addr heap.Addr
 		var err error
-		if m.c.cfg.DisableColorToggle {
-			addr, err = m.allocToggleFree(slots, size)
-		} else {
-			addr, err = m.c.H.Alloc(&m.cache, slots, size, m.c.AllocColor())
+		if in := m.c.flt; in != nil {
+			if drop, fail := in.Inject(fault.Alloc); drop || fail {
+				// Injected transient exhaustion: exercise the same
+				// collect-and-retry path a real OOM takes.
+				err = fmt.Errorf("gc: injected allocation fault: %w", heap.ErrOutOfMemory)
+			}
+		}
+		if err == nil {
+			if m.c.cfg.DisableColorToggle {
+				addr, err = m.allocToggleFree(slots, size)
+			} else {
+				addr, err = m.c.H.Alloc(&m.cache, slots, size, m.c.AllocColor())
+			}
 		}
 		if err == nil {
 			if size < heap.HeaderBytes+slots*heap.WordBytes {
@@ -340,10 +385,12 @@ func (m *Mutator) Alloc(slots, size int) (heap.Addr, error) {
 			m.c.maybeTrigger()
 			return addr, nil
 		}
-		if attempt >= 3 {
+		if attempt >= m.c.cfg.AllocRetries {
 			return 0, fmt.Errorf("gc: mutator %d: %w after %d full collections", m.id, err, attempt)
 		}
-		m.waitForFullCollection()
+		if werr := m.waitForFullCollection(ctx, attempt); werr != nil {
+			return 0, werr
+		}
 	}
 }
 
@@ -352,11 +399,18 @@ func (m *Mutator) Alloc(slots, size int) (heap.Addr, error) {
 // drive collections manually) the cycle is run on a helper goroutine so
 // this mutator can keep responding to its handshakes.
 //
+// The poll interval backs off with the retry attempt — each failed
+// round means the last collection freed too little, so hammering the
+// next one helps nobody — but stays far below the stall deadline so
+// the waiting mutator keeps answering handshakes promptly. The wait
+// ends early (with an error) when the runtime closes (ErrClosed) or
+// the caller's context expires (ErrStalled wrapping ctx.Err()).
+//
 // The whole stall is recorded as one "allocwait" pause — the dominant
 // mutator-visible delay a collector can impose. Handshake responses
 // made while waiting are recorded as their own (nested, much shorter)
 // pauses; OBSERVABILITY.md documents the overlap.
-func (m *Mutator) waitForFullCollection() {
+func (m *Mutator) waitForFullCollection(ctx context.Context, attempt int) error {
 	pauseAt := m.pauseStart()
 	defer m.recordPause(pauseAt, "allocwait")
 	m.c.fullWaiters.Add(1)
@@ -367,15 +421,30 @@ func (m *Mutator) waitForFullCollection() {
 	} else {
 		go m.c.CollectNow(true)
 	}
-	for m.c.fullsDone.Load() == start {
-		m.Cooperate()
-		time.Sleep(50 * time.Microsecond)
+	sleep := 50 * time.Microsecond << uint(attempt)
+	if sleep > time.Millisecond {
+		sleep = time.Millisecond
 	}
+	for m.c.fullsDone.Load() == start {
+		if m.c.closed.Load() {
+			return fmt.Errorf("gc: mutator %d: full collection wait: %w", m.id, ErrClosed)
+		}
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return fmt.Errorf("gc: mutator %d: full collection wait: %w (%w)",
+					m.id, ErrStalled, err)
+			}
+		}
+		m.Cooperate()
+		time.Sleep(sleep)
+	}
+	return nil
 }
 
 // Collect runs a collection from a mutator goroutine: the cycle runs on
 // a helper goroutine (explicit requests bypass the background trigger's
 // staleness filtering) while this mutator cooperates until it completes.
+// On a stopped collector it returns immediately.
 func (m *Mutator) Collect(full bool) {
 	counter := &m.c.cyclesDone
 	if full {
@@ -384,6 +453,9 @@ func (m *Mutator) Collect(full bool) {
 	start := counter.Load()
 	go m.c.CollectNow(full)
 	for counter.Load() == start {
+		if m.c.closed.Load() {
+			return
+		}
 		m.Cooperate()
 		time.Sleep(20 * time.Microsecond)
 	}

@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"gengc/internal/fault"
 	"gengc/internal/heap"
 	"gengc/internal/trace"
 )
@@ -221,6 +222,19 @@ func (c *Collector) traceWorkerLoop(id int, ws []*traceWorker) {
 	for {
 		x, ok := w.deque.pop()
 		if !ok {
+			if in := c.flt; in != nil {
+				// A Drop rule models a steal scan that finds nothing
+				// (contention, unlucky victim order); Fail is coerced
+				// the same way — the loop simply retries, so the only
+				// observable effect is delayed termination, never a
+				// missed object (pending still counts it).
+				if drop, fail := in.Inject(fault.TraceSteal); drop || fail {
+					if c.tracePending.Load() == 0 {
+						return
+					}
+					continue
+				}
+			}
 			// Run dry: try to steal before concluding anything.
 			stole := false
 			for off := 1; off < len(ws); off++ {
@@ -315,15 +329,18 @@ func (c *Collector) drainParallel() {
 // The outer protocol is identical: drain, fold in mutator gray buffers,
 // and only conclude after an acknowledgement round bounded by a stable
 // gray-production counter — the multi-worker drain changes who blackens
-// an object, not when the fixpoint holds (see DESIGN.md).
-func (c *Collector) traceParallel() {
+// an object, not when the fixpoint holds (see DESIGN.md). The false
+// return is the close-abort path propagated from ackRound.
+func (c *Collector) traceParallel() bool {
 	for {
 		c.drainParallel()
 		if c.collectBuffers() > 0 {
 			continue
 		}
 		g0 := c.grayProduced.Load()
-		c.ackRound()
+		if !c.ackRound() {
+			return false
+		}
 		n := c.collectBuffers()
 		c.drainParallel()
 		g1 := c.grayProduced.Load()
@@ -332,6 +349,7 @@ func (c *Collector) traceParallel() {
 		}
 	}
 	c.tracing.Store(false)
+	return true
 }
 
 // initFullParallel shards the full-collection recoloring walk of
@@ -347,6 +365,11 @@ func (c *Collector) initFullParallel() {
 	var cursor atomic.Int64
 	cursor.Store(1) // block 0 is reserved
 	claim := func() bool {
+		if c.flt != nil {
+			// Delay-only, as in sweepParallel: the recoloring walk must
+			// visit every block.
+			c.flt.Inject(fault.SweepShard)
+		}
 		lo := int(cursor.Add(sweepChunkBlocks)) - sweepChunkBlocks
 		if lo >= nBlocks {
 			return false
@@ -425,6 +448,12 @@ func (c *Collector) sweepParallel(full bool) {
 		states[i].batch = make([]heap.Addr, 0, freeBatchSize)
 	}
 	claim := func(st *sweepState) bool {
+		if c.flt != nil {
+			// Delay-only point: skipping a claimed shard would leak the
+			// chunk's dead cells and corrupt the hint/aging bookkeeping,
+			// so Drop/Fail rules degrade to their configured delay.
+			c.flt.Inject(fault.SweepShard)
+		}
 		lo := int(cursor.Add(sweepChunkBlocks)) - sweepChunkBlocks
 		if lo >= nBlocks {
 			return false

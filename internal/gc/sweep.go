@@ -1,6 +1,9 @@
 package gc
 
-import "gengc/internal/heap"
+import (
+	"gengc/internal/fault"
+	"gengc/internal/heap"
+)
 
 // freeBatchSize bounds how many dead cells sweep accumulates before
 // returning them to the heap under one lock acquisition.
@@ -112,6 +115,11 @@ func (c *Collector) sweep(full bool) {
 	st := &sweepState{batch: make([]heap.Addr, 0, freeBatchSize)}
 	nBlocks := c.H.NumBlocks()
 	for b := 1; b < nBlocks; b++ {
+		if c.flt != nil && (b-1)%sweepChunkBlocks == 0 {
+			// Same cadence as a parallel shard claim; delay-only —
+			// every block must be swept (see sweepParallel).
+			c.flt.Inject(fault.SweepShard)
+		}
 		c.sweepBlockOne(b, full, aging, cc, ac, oldest, st)
 	}
 	st.flush(c)

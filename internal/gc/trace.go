@@ -106,10 +106,12 @@ func (c *Collector) collectBuffers() int {
 // move. A counter that moved means some mutator grayed an object inside
 // the window, so the loop repeats; the counter is monotonic and bounded,
 // so the loop terminates.
-func (c *Collector) trace() {
+//
+// The false return propagates a failed acknowledgement round — the
+// close-abort path (see ackRound); the caller abandons the cycle.
+func (c *Collector) trace() bool {
 	if c.cfg.Workers > 1 {
-		c.traceParallel()
-		return
+		return c.traceParallel()
 	}
 	for {
 		c.drainStack()
@@ -117,7 +119,9 @@ func (c *Collector) trace() {
 			continue
 		}
 		g0 := c.grayProduced.Load()
-		c.ackRound()
+		if !c.ackRound() {
+			return false
+		}
 		n := c.collectBuffers()
 		c.drainStack()
 		g1 := c.grayProduced.Load()
@@ -126,4 +130,5 @@ func (c *Collector) trace() {
 		}
 	}
 	c.tracing.Store(false)
+	return true
 }

@@ -1,0 +1,125 @@
+package trace
+
+import (
+	"errors"
+	"testing"
+
+	"gengc/internal/fault"
+)
+
+// panicSink panics on every Emit after the first allowed batch.
+type panicSink struct {
+	okLeft int
+	emits  int
+}
+
+func (s *panicSink) Emit(Event) {
+	s.emits++
+	if s.okLeft > 0 {
+		s.okLeft--
+		return
+	}
+	panic("sink exploded")
+}
+
+func (s *panicSink) Flush() error { return nil }
+
+// errSink fails every Flush.
+type errSink struct {
+	emits   int
+	flushes int
+}
+
+func (s *errSink) Emit(Event) { s.emits++ }
+func (s *errSink) Flush() error {
+	s.flushes++
+	return errors.New("disk full")
+}
+
+func TestDegradeOnPanickingSink(t *testing.T) {
+	s := &panicSink{okLeft: 1} // let the "start" event through
+	tr := New(s)
+	r := tr.NewRing()
+	for i := 0; i < 10; i++ {
+		r.Emit(Event{Ev: "cycle"})
+	}
+	tr.Flush() // 10 panicking emits: must not escape, must degrade
+	if !tr.Degraded() {
+		t.Fatalf("tracer not degraded after %d sink panics", s.emits-1)
+	}
+	r.Emit(Event{Ev: "cycle"})
+	before := s.emits
+	tr.Flush()
+	if s.emits != before {
+		t.Fatalf("degraded tracer still called the sink")
+	}
+	if tr.SinkDrops() == 0 {
+		t.Fatalf("no drops counted after degradation")
+	}
+	if tr.Drops() < tr.SinkDrops() {
+		t.Fatalf("Drops() = %d < SinkDrops() = %d", tr.Drops(), tr.SinkDrops())
+	}
+	tr.Close() // must not panic either
+}
+
+func TestDegradeOnFlushErrors(t *testing.T) {
+	s := &errSink{}
+	tr := New(s)
+	r := tr.NewRing()
+	for i := 0; i < sinkFailureLimit; i++ {
+		r.Emit(Event{Ev: "cycle"})
+		tr.Flush()
+	}
+	if !tr.Degraded() {
+		t.Fatalf("tracer not degraded after %d flush errors", s.flushes)
+	}
+}
+
+// flakySink fails every other Flush; the successes in between must
+// keep resetting the consecutive-failure budget.
+type flakySink struct{ flushes int }
+
+func (s *flakySink) Emit(Event) {}
+func (s *flakySink) Flush() error {
+	s.flushes++
+	if s.flushes%2 == 1 {
+		return errors.New("transient")
+	}
+	return nil
+}
+
+func TestSuccessResetsFailureBudget(t *testing.T) {
+	s := &flakySink{}
+	tr := New(s)
+	r := tr.NewRing()
+	for i := 0; i < 4*sinkFailureLimit; i++ {
+		r.Emit(Event{Ev: "cycle"})
+		tr.Flush()
+	}
+	if tr.Degraded() {
+		t.Fatalf("degraded although failures never ran %d consecutive", sinkFailureLimit)
+	}
+}
+
+func TestSinkWriteInjectionDegrades(t *testing.T) {
+	in := fault.New(42)
+	in.Install(fault.Rule{Point: fault.SinkWrite, Kind: fault.Fail})
+	s := &MemorySink{}
+	tr := New(s)
+	tr.SetInjector(in)
+	r := tr.NewRing()
+	for i := 0; i < sinkFailureLimit+2; i++ {
+		r.Emit(Event{Ev: "cycle"})
+	}
+	tr.Flush()
+	if !tr.Degraded() {
+		t.Fatalf("tracer not degraded under SinkWrite Fail P=1")
+	}
+	// Only the pre-injector "start" event reached the sink.
+	if n := len(s.Events()); n != 1 {
+		t.Fatalf("sink got %d events, want 1 (start)", n)
+	}
+	if tr.SinkDrops() == 0 {
+		t.Fatalf("injected sink failures not counted as drops")
+	}
+}

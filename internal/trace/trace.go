@@ -24,6 +24,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"gengc/internal/fault"
 )
 
 // Event is one timestamped span or point event. The fixed field set
@@ -46,6 +48,12 @@ import (
 //	          N = objects freed by that worker
 //	pause     one mutator-visible delay; W = mutator id,
 //	          K = "roots"|"handshake"|"ack"|"allocwait"
+//	stall     the handshake watchdog caught a mutator past the stall
+//	          deadline; W = mutator id, K = the wait's phase
+//	          ("sync1"|"sync2"|"sync3"|"ack"), D = how long the
+//	          collector had been waiting when the report fired
+//	cycleabort a cycle abandoned at close (wedged handshake past the
+//	          grace period); K = the phase it was wedged in
 //	drops     events lost to ring overflow (emitted at Close); N = count
 type Event struct {
 	// Ev is the event kind (see the table above).
@@ -130,24 +138,126 @@ func (r *Ring) drain(fn func(Event)) {
 	r.tail.Store(t)
 }
 
+// sinkFailureLimit is how many consecutive sink failures (a panic out
+// of Emit/Flush, a Flush error, or an injected fault) the tracer
+// tolerates before degrading. Degradation is one-way: the sink is never
+// called again and every subsequent event is counted as a drop, so a
+// broken sink costs the collector one atomic load per flush instead of
+// a panic on its goroutine.
+const sinkFailureLimit = 3
+
 // Tracer owns the rings and the sink for one runtime. All methods are
 // safe for concurrent use; Emit paths go through per-producer rings and
 // never block on the sink.
+//
+// Sink failures are isolated: calls into the sink run under a recover,
+// and after sinkFailureLimit consecutive failures the tracer degrades —
+// tracing turns itself off (events become counted drops) rather than
+// taking the collector down with the sink.
 type Tracer struct {
 	sink  Sink
 	epoch time.Time
 
-	mu     sync.Mutex
-	rings  []*Ring
-	closed bool
+	flt       *fault.Injector // SinkWrite injection; nil = disabled
+	degraded  atomic.Bool
+	sinkDrops atomic.Int64
+
+	mu       sync.Mutex
+	rings    []*Ring
+	closed   bool
+	failures int // consecutive sink failures, under mu
 }
 
 // New starts a tracer over sink and emits the run-boundary "start"
 // event. The epoch for all event timestamps is the moment of creation.
 func New(sink Sink) *Tracer {
 	t := &Tracer{sink: sink, epoch: time.Now()}
-	sink.Emit(Event{Ev: "start"})
+	t.mu.Lock()
+	t.safeEmit(Event{Ev: "start"})
+	t.mu.Unlock()
 	return t
+}
+
+// SetInjector installs the fault injector consulted before every sink
+// call (the SinkWrite point). A Fail decision is treated exactly like a
+// sink error; nil uninstalls.
+func (t *Tracer) SetInjector(in *fault.Injector) {
+	t.mu.Lock()
+	t.flt = in
+	t.mu.Unlock()
+}
+
+// Degraded reports whether the sink has been cut off after repeated
+// failures.
+func (t *Tracer) Degraded() bool { return t.degraded.Load() }
+
+// SinkDrops reports how many events were dropped because the sink had
+// degraded.
+func (t *Tracer) SinkDrops() int64 { return t.sinkDrops.Load() }
+
+// Drops reports every event lost so far: ring overflow plus events
+// discarded after sink degradation.
+func (t *Tracer) Drops() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := t.sinkDrops.Load()
+	for _, r := range t.rings {
+		n += r.Dropped()
+	}
+	return n
+}
+
+// noteFailure records one sink failure and degrades the tracer once the
+// consecutive-failure budget is spent. Caller holds mu.
+func (t *Tracer) noteFailure() {
+	t.failures++
+	if t.failures >= sinkFailureLimit {
+		t.degraded.Store(true)
+	}
+}
+
+// safeEmit delivers one event to the sink, absorbing panics and
+// injected faults. A lost event counts as a drop. Caller holds mu.
+func (t *Tracer) safeEmit(e Event) {
+	if t.degraded.Load() {
+		t.sinkDrops.Add(1)
+		return
+	}
+	if t.flt != nil {
+		if _, fail := t.flt.Inject(fault.SinkWrite); fail {
+			t.sinkDrops.Add(1)
+			t.noteFailure()
+			return
+		}
+	}
+	defer func() {
+		if recover() != nil {
+			t.sinkDrops.Add(1)
+			t.noteFailure()
+		}
+	}()
+	t.sink.Emit(e)
+}
+
+// safeFlush pushes the sink's buffer downstream, absorbing panics and
+// counting errors against the failure budget. Caller holds mu.
+func (t *Tracer) safeFlush() {
+	if t.degraded.Load() {
+		return
+	}
+	defer func() {
+		if recover() != nil {
+			t.noteFailure()
+		}
+	}()
+	if err := t.sink.Flush(); err != nil {
+		t.noteFailure()
+		return
+	}
+	// Only a successful Flush resets the consecutive-failure budget:
+	// Emit cannot report errors (a broken JSONLSink's Emit is a silent
+	// no-op), so treating it as a success would mask a dead sink.
+	t.failures = 0
 }
 
 // Epoch returns the tracer's time origin.
@@ -175,9 +285,9 @@ func (t *Tracer) Flush() {
 		return
 	}
 	for _, r := range t.rings {
-		r.drain(t.sink.Emit)
+		r.drain(t.safeEmit)
 	}
-	t.sink.Flush()
+	t.safeFlush()
 }
 
 // Close performs the final drain, reports ring overflow if any occurred,
@@ -192,13 +302,14 @@ func (t *Tracer) Close() {
 	t.closed = true
 	var drops int64
 	for _, r := range t.rings {
-		r.drain(t.sink.Emit)
+		r.drain(t.safeEmit)
 		drops += r.dropped.Load()
 	}
+	drops += t.sinkDrops.Load()
 	if drops > 0 {
-		t.sink.Emit(Event{Ev: "drops", T: t.Rel(time.Now()), N: drops})
+		t.safeEmit(Event{Ev: "drops", T: t.Rel(time.Now()), N: drops})
 	}
-	t.sink.Flush()
+	t.safeFlush()
 }
 
 // JSONLSink writes one JSON object per event — the format cmd/gcreport

@@ -1,6 +1,9 @@
 package gengc
 
-import "io"
+import (
+	"io"
+	"time"
+)
 
 // Option configures a Runtime under construction. Options apply in
 // order over the paper's defaults (32 MB heap, 4 MB young generation,
@@ -132,6 +135,42 @@ func WithTraceSink(sink TraceSink) Option {
 // barrier microbenchmarks.
 func WithPauseHistograms(on bool) Option {
 	return func(c *Config) { c.DisablePauseHistograms = !on }
+}
+
+// WithStallTimeout sets the handshake watchdog's deadline: when a
+// mutator has not responded to a pending handshake or acknowledgement
+// round within d, the collector reports a stall (the "stall" trace
+// event, the Snapshot.Stalls counter and the OnStall callback) — once
+// per mutator per wait — and keeps waiting. Zero keeps the 1s default;
+// a negative d disables the watchdog. The deadline also bounds how long
+// Close waits for a wedged handshake before abandoning the cycle.
+func WithStallTimeout(d time.Duration) Option {
+	return func(c *Config) { c.StallTimeout = d }
+}
+
+// WithAllocRetries bounds how many full-collection-and-retry rounds an
+// exhausted allocation attempts before giving up with ErrOutOfMemory.
+// Zero keeps the default of 3.
+func WithAllocRetries(n int) Option {
+	return func(c *Config) { c.AllocRetries = n }
+}
+
+// WithSelfCheck makes the collector audit its own protocol invariants
+// at the end of every cycle (status converged, trace quiesced, no
+// object left gray, allocator bookkeeping intact) while the mutators
+// keep running. Violations are counted and retained (see
+// Collector.SelfCheckErr) rather than panicking. Intended for chaos
+// campaigns and stress tests; each audit walks the heap once.
+func WithSelfCheck(on bool) Option {
+	return func(c *Config) { c.SelfCheck = on }
+}
+
+// WithFaultInjector arms deterministic fault injection: in decides at
+// each named injection point (see FaultPoint) whether to delay, drop or
+// fail the operation. Nil (the default) disables injection; the hot
+// paths then pay one pointer comparison.
+func WithFaultInjector(in *FaultInjector) Option {
+	return func(c *Config) { c.Fault = in }
 }
 
 // buildConfig folds the options over a zero Config (whose zero fields
