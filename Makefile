@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet lint build test race bench trace-verify chaos check
+.PHONY: all vet lint build test race bench bench-json trace-verify chaos check
 
 all: check
 
@@ -23,18 +23,27 @@ test:
 	$(GO) test ./...
 
 # The concurrency-heavy subset under the race detector: the parallel
-# (Workers>1) trace/sweep tests plus the mutator-vs-collector stress
-# and race interleaving tests.
+# (Workers>1) trace/sweep tests, the mutator-vs-collector stress and
+# race interleaving tests, and the sharded-allocator stress test that
+# churns allocations while minor and full cycles run.
 race:
 	$(GO) test -race -run 'Race|Stress|Parallel' ./...
 
 bench:
 	$(GO) test -run XXX -bench . -benchtime 1x ./...
 
+# bench-json sweeps the allocation path over mutator counts (1/2/4/8)
+# and shard counts (single lock vs per-class) and writes the
+# machine-readable result to BENCH_alloc.json, which also embeds the
+# pre-sharding global-lock baseline for before/after comparison.
+bench-json:
+	$(GO) run ./cmd/gcbench -experiment alloc -benchjson BENCH_alloc.json
+
 # chaos runs a short fixed-seed fault-injection campaign under the race
-# detector: every schedule (stalls, slow workers, transient OOM, failing
-# sink, close race) must finish with zero Verify/self-check violations.
-# The fixed seed keeps the fault schedule reproducible run to run.
+# detector: every schedule (stalls, slow workers, transient OOM, the
+# allocstorm campaigns against the tiered allocation path, failing sink,
+# close race) must finish with zero Verify/self-check violations. The
+# fixed seed keeps the fault schedule reproducible run to run.
 chaos:
 	$(GO) run -race ./cmd/gcchaos -seed 1
 

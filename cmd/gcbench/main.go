@@ -11,6 +11,7 @@
 //	gcbench -experiment char           # Figures 10-15 (characterization)
 //	gcbench -experiment cards          # Figures 21-23 (card-size sweep)
 //	gcbench -experiment aging          # Figures 18-19
+//	gcbench -experiment alloc          # allocator mutator-count sweep -> BENCH_alloc.json
 //	gcbench -scale 0.25 -repeats 1 ... # quicker, noisier
 package main
 
@@ -28,7 +29,8 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "fig7|fig8|fig9|char|fig16|fig17|aging|fig20|cards|all")
+		experiment = flag.String("experiment", "all", "fig7|fig8|fig9|char|fig16|fig17|aging|fig20|cards|alloc|all")
+		benchJSON  = flag.String("benchjson", "BENCH_alloc.json", "output path of the -experiment alloc sweep")
 		scale      = flag.Float64("scale", 1.0, "workload length multiplier")
 		repeats    = flag.Int("repeats", 3, "runs to average per measurement")
 		seed       = flag.Int64("seed", 0, "workload random seed (0 = default)")
@@ -70,7 +72,7 @@ func main() {
 	fmt.Fprintf(w, "gcbench: scale=%v repeats=%d gcworkers=%d GOMAXPROCS=%d NumCPU=%d\n\n",
 		*scale, *repeats, *gcworkers, runtime.GOMAXPROCS(0), runtime.NumCPU())
 	start := time.Now()
-	if err := run(w, opts, *experiment, *csv); err != nil {
+	if err := run(w, opts, *experiment, *csv, *benchJSON); err != nil {
 		fmt.Fprintln(os.Stderr, "gcbench:", err)
 		os.Exit(1)
 	}
@@ -85,7 +87,7 @@ func main() {
 	fmt.Fprintf(w, "total experiment time: %v\n", time.Since(start).Round(time.Second))
 }
 
-func run(w io.Writer, opts bench.Options, experiment string, csv bool) error {
+func run(w io.Writer, opts bench.Options, experiment string, csv bool, benchJSON string) error {
 	render := func(t bench.Table) {
 		if csv {
 			t.FormatCSV(w)
@@ -144,6 +146,8 @@ func run(w io.Writer, opts bench.Options, experiment string, csv bool) error {
 		return emit(opts.Fig20())
 	case "cards", "fig21", "fig22", "fig23":
 		return cards()
+	case "alloc":
+		return allocExperiment(w, benchJSON)
 	case "all":
 		for _, step := range []func() error{
 			func() error { return emit(opts.Fig7()) },

@@ -1,8 +1,10 @@
 // Command gcchaos runs seeded chaos campaigns against the runtime: a
 // churning multi-mutator workload executes under a sequence of fault
 // schedules — stalled safe points, slow trace workers and sweep shards,
-// transient allocation failures, a failing trace sink, and a close
-// racing live allocators — with the full invariant battery (Verify,
+// transient allocation failures, allocation storms against the tiered
+// allocation path (at the default per-class shards and the degenerate
+// single lock), a failing trace sink, and a close racing live
+// allocators — with the full invariant battery (Verify,
 // the card invariant, and the per-cycle self-check) auditing every
 // round. The fault schedule is a pure function of -seed, so a failing
 // campaign reruns identically.
@@ -44,7 +46,9 @@ func parseMode(s string) (gengc.Mode, error) {
 type schedule struct {
 	name    string
 	rules   []gengc.FaultRule
-	workers int // collector workers (0 = the -workers flag)
+	workers int  // collector workers (0 = the -workers flag)
+	shards  int  // allocation shards (0 = the per-class default)
+	storm   bool // run allocStorm instead of churn
 	sink    bool
 	// expect audits the finished run; it appends violation strings.
 	expect func(rt *gengc.Runtime, in *gengc.FaultInjector, v *[]string)
@@ -107,6 +111,55 @@ func schedules(workers int) []schedule {
 			},
 		},
 		{
+			// Allocation storm: an allocation-dominated mixed-size-class
+			// workload hammers the tiered allocation path (cache refills,
+			// flushes, sweep frees through the class shards) while
+			// transient allocation failures and slow sweep shards fire.
+			// The audit reads back the shard counters the path exports.
+			name:  "allocstorm",
+			storm: true,
+			rules: []gengc.FaultRule{
+				{Point: gengc.FaultAlloc, Kind: gengc.FaultFail, P: 0.001},
+				{Point: gengc.FaultSweepShard, Kind: gengc.FaultDelay,
+					P: 0.2, Delay: 50 * time.Microsecond},
+			},
+			expect: func(rt *gengc.Runtime, in *gengc.FaultInjector, v *[]string) {
+				a := rt.Snapshot().Alloc
+				if a.Refills == 0 {
+					*v = append(*v, "allocstorm: zero central-shard refills — allocation path not exercised")
+				}
+				if a.CachedCells != 0 {
+					*v = append(*v, fmt.Sprintf(
+						"allocstorm: %d cells still cached after every mutator detached", a.CachedCells))
+				}
+				if a.FreeCells < 0 {
+					*v = append(*v, fmt.Sprintf(
+						"allocstorm: negative shard free-cell total %d", a.FreeCells))
+				}
+			},
+		},
+		{
+			// The same storm against a single central lock (the
+			// pre-sharding degenerate configuration): the tiers must be
+			// correct, not just fast, at every shard count.
+			name:   "allocstorm1",
+			storm:  true,
+			shards: 1,
+			rules: []gengc.FaultRule{
+				{Point: gengc.FaultAlloc, Kind: gengc.FaultFail, P: 0.001},
+			},
+			expect: func(rt *gengc.Runtime, in *gengc.FaultInjector, v *[]string) {
+				a := rt.Snapshot().Alloc
+				if a.Shards != 1 {
+					*v = append(*v, fmt.Sprintf("allocstorm1: %d shards, want 1", a.Shards))
+				}
+				if a.CachedCells != 0 {
+					*v = append(*v, fmt.Sprintf(
+						"allocstorm1: %d cells still cached after every mutator detached", a.CachedCells))
+				}
+			},
+		},
+		{
 			// Failing trace sink: every write errors; the collector
 			// must degrade tracing and keep collecting.
 			name: "failsink",
@@ -156,6 +209,31 @@ func churn(m *gengc.Mutator, rng *rand.Rand, ops int) error {
 	return nil
 }
 
+// allocStorm is the allocation-dominated variant of churn: nearly every
+// operation allocates, cycling mixed size classes through a fixed window
+// of roots so the slot's previous occupant becomes garbage for the
+// concurrent sweep to push back into the class shards.
+func allocStorm(m *gengc.Mutator, rng *rand.Rand, ops int) error {
+	sizes := []int{16, 40, 96, 224, 480, 992}
+	const window = 96
+	for i := 0; i < window; i++ {
+		m.PushRoot(gengc.Nil)
+	}
+	for op := 0; op < ops; op++ {
+		ref, err := m.Alloc(2, sizes[rng.Intn(len(sizes))])
+		if err != nil {
+			return err
+		}
+		slot := rng.Intn(window)
+		if old := m.Root(slot); old != gengc.Nil && rng.Float64() < 0.25 {
+			m.Write(ref, 0, old)
+		}
+		m.SetRoot(slot, ref)
+		m.Safepoint()
+	}
+	return nil
+}
+
 // runSchedule executes rounds of churn under one schedule and audits
 // between rounds. It returns the violations it found.
 func runSchedule(s schedule, seed int64, mode gengc.Mode, mutators, rounds, ops, workers int, verbose bool) []string {
@@ -172,6 +250,7 @@ func runSchedule(s schedule, seed int64, mode gengc.Mode, mutators, rounds, ops,
 		gengc.WithHeapBytes(16 << 20),
 		gengc.WithYoungBytes(256 << 10),
 		gengc.WithWorkers(w),
+		gengc.WithAllocShards(s.shards),
 		gengc.WithSelfCheck(true),
 		gengc.WithStallTimeout(8 * time.Millisecond),
 		gengc.WithAllocRetries(8),
@@ -184,6 +263,10 @@ func runSchedule(s schedule, seed int64, mode gengc.Mode, mutators, rounds, ops,
 	if err != nil {
 		log.Fatalf("%s: %v", s.name, err)
 	}
+	work := churn
+	if s.storm {
+		work = allocStorm
+	}
 	var violations []string
 	for round := 0; round < rounds; round++ {
 		var wg sync.WaitGroup
@@ -195,7 +278,7 @@ func runSchedule(s schedule, seed int64, mode gengc.Mode, mutators, rounds, ops,
 				m := rt.NewMutator()
 				defer m.Detach()
 				rng := rand.New(rand.NewSource(seed ^ int64(round*1000+id)))
-				if err := churn(m, rng, ops); err != nil {
+				if err := work(m, rng, ops); err != nil {
 					errs <- fmt.Errorf("mutator %d: %w", id, err)
 				}
 			}(id)

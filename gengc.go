@@ -115,6 +115,16 @@ type JSONLTraceSink = trace.JSONLSink
 // flushed by Runtime.Close. Check the sink's Err method after the run.
 func NewJSONLTraceSink(w io.Writer) *JSONLTraceSink { return trace.NewJSONLSink(w) }
 
+// AllocStats aggregates the tiered allocator's contention and
+// throughput counters: refills and flushes served by the central
+// free-list shards, contended lock acquisitions per tier, and the
+// free/cached cell census, plus a per-shard breakdown. Reported by
+// Snapshot; see OBSERVABILITY.md.
+type AllocStats = heap.AllocStats
+
+// ShardStats is one central shard's row in AllocStats.PerShard.
+type ShardStats = heap.ShardStats
+
 // PauseStats summarizes one pause histogram: the count, total and the
 // p50/p90/p99/p99.9/max quantiles of the mutator-visible delays the
 // on-the-fly collector imposes (handshake responses, root marking,
@@ -221,6 +231,11 @@ type Snapshot struct {
 	TraceDrops    int64
 	TraceDegraded bool
 
+	// Alloc is the tiered allocator's counter snapshot: shard and
+	// page-lock contention, refill/flush traffic, free and cached
+	// cells, with a per-shard breakdown (see WithAllocShards).
+	Alloc AllocStats
+
 	// Fleet aggregates every pause ever recorded (Mutator == -1);
 	// Mutators holds one entry per currently attached mutator. Both are
 	// zero-valued when pause accounting is off (WithPauseHistograms).
@@ -235,12 +250,13 @@ func (r *Runtime) Snapshot() Snapshot {
 	return Snapshot{
 		Cycles:        r.c.CyclesDone(),
 		Fulls:         r.c.FullsDone(),
-		HeapBytes:     r.c.H.AllocatedBytes(),
-		HeapObjects:   r.c.H.AllocatedObjects(),
+		HeapBytes:     r.c.HeapBytes(),
+		HeapObjects:   r.c.HeapObjects(),
 		Stalls:        r.c.Stalls(),
 		AbortedCycles: r.c.AbortedCycles(),
 		TraceDrops:    r.c.TraceDrops(),
 		TraceDegraded: r.c.TraceDegraded(),
+		Alloc:         r.c.H.AllocStats(),
 		Fleet:         fleet,
 		Mutators:      per,
 	}
@@ -261,10 +277,10 @@ func (r *Runtime) PublishExpvar(name string) error {
 
 // HeapBytes returns the currently allocated bytes (live plus floating
 // garbage).
-func (r *Runtime) HeapBytes() int64 { return r.c.H.AllocatedBytes() }
+func (r *Runtime) HeapBytes() int64 { return r.c.HeapBytes() }
 
 // HeapObjects returns the currently allocated object count.
-func (r *Runtime) HeapObjects() int64 { return r.c.H.AllocatedObjects() }
+func (r *Runtime) HeapObjects() int64 { return r.c.HeapObjects() }
 
 // SetGlobal stores v in global root slot i. Global roots live in an
 // ordinary heap object, so the store goes through the write barrier of

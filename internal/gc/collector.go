@@ -68,6 +68,15 @@ type Collector struct {
 	// acknowledgement round (monotonic, never reset).
 	grayProduced atomic.Int64
 
+	// heapBytes/heapObjects are the exact facade-facing allocation
+	// totals, charged per allocation (cell size) and per sweep free
+	// batch. The heap's own shard counters defer publication in the
+	// mutator caches for fast-path speed, so they lag by the open
+	// allocation runs; this layer keeps the per-object-exact totals
+	// Snapshot and HeapBytes/HeapObjects promise.
+	heapBytes   atomic.Int64
+	heapObjects atomic.Int64
+
 	// muts is the mutator registry.
 	muts struct {
 		sync.Mutex
@@ -103,10 +112,6 @@ type Collector struct {
 		buf []heap.Addr
 	}
 
-	// dynOldAge is the current tenure threshold; equals cfg.OldAge
-	// unless DynamicTenure adjusts it.
-	dynOldAge atomic.Int32
-
 	// phase and sweepBlock drive the toggle-free create protocol
 	// (notoggle.go): the collector's coarse phase and the block the
 	// sweep is currently processing.
@@ -117,16 +122,10 @@ type Collector struct {
 	// goroutine only).
 	cyc metrics.Cycle
 
-	// youngAlloc counts bytes allocated since the last collection
-	// (the §3.3 partial trigger).
-	youngAlloc atomic.Int64
-
-	// fullTarget is the adaptive full-collection trigger: a full
-	// cycle is requested once allocated bytes reach it. It models the
-	// paper's growing heap (1 MB initial, 32 MB max): after every
-	// full collection it tracks the live set plus HeadroomBytes,
-	// clamped to [InitialTargetBytes, FullThreshold·HeapBytes].
-	fullTarget atomic.Int64
+	// pacer owns the collection-scheduling policy: the young-bytes
+	// partial trigger, the adaptive full-collection target and the
+	// dynamic tenure threshold (pacer.go).
+	pacer *Pacer
 
 	// cyclesDone and fullsDone count completed collections; the
 	// allocation slow path waits on them.
@@ -211,7 +210,7 @@ func New(cfg Config) (*Collector, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	h, err := heap.New(cfg.HeapBytes)
+	h, err := heap.NewSharded(cfg.HeapBytes, cfg.AllocShards)
 	if err != nil {
 		return nil, err
 	}
@@ -238,8 +237,7 @@ func New(cfg Config) (*Collector, error) {
 	} else {
 		c.clearColor.Store(uint32(heap.Yellow))
 	}
-	c.fullTarget.Store(int64(cfg.InitialTargetBytes))
-	c.dynOldAge.Store(int32(cfg.OldAge))
+	c.pacer = newPacer(cfg, h.SizeBytes)
 	c.reqCh = make(chan struct{}, 1)
 	c.stopCh = make(chan struct{})
 	c.doneCh = make(chan struct{})
@@ -254,6 +252,8 @@ func New(cfg Config) (*Collector, error) {
 	}
 	c.globals = g
 	h.Flush(&cache)
+	c.heapBytes.Store(h.AllocatedBytes())
+	c.heapObjects.Store(h.AllocatedObjects())
 	return c, nil
 }
 
@@ -414,11 +414,11 @@ func (c *Collector) run() {
 		// second collection right after the first would find nothing
 		// to free. Full requests from mutators blocked on allocation
 		// are never stale.
-		if !full && c.youngAlloc.Load() < int64(c.cfg.YoungBytes) {
+		if !full && !c.pacer.PartialDue() {
 			continue
 		}
 		if full && c.fullWaiters.Load() == 0 &&
-			c.H.AllocatedBytes() < c.fullTarget.Load() {
+			!c.pacer.FullDue(c.H.AllocatedBytes()) {
 			continue
 		}
 		c.Cycle(full)
@@ -444,82 +444,44 @@ func (c *Collector) request(full bool) {
 	}
 }
 
-// maybeTrigger implements §3.3: a partial collection once young
-// allocation exceeds the young generation size, a full collection once
-// the heap is almost full. Called from the allocation path.
-func (c *Collector) maybeTrigger() {
-	// Emergency bound: the heap is almost full regardless of mode.
-	if c.H.AllocatedBytes() >= int64(float64(c.H.SizeBytes)*c.cfg.FullThreshold) {
+// noteAlloc charges one successful allocation — size is the requested
+// size fed to the pacer, charged the cell size backing the exact heap
+// totals — and converts the pacer's verdict into a collection request.
+// Called from the allocation path; the pacer works from its own
+// counters, so this never touches heap-wide state.
+func (c *Collector) noteAlloc(size, charged int) {
+	c.heapBytes.Add(int64(charged))
+	c.heapObjects.Add(1)
+	switch c.pacer.NoteAlloc(size) {
+	case TriggerFull:
 		c.request(true)
-		return
-	}
-	if !c.cfg.Mode.IsGenerational() {
-		// Without generations every collection is full and fires
-		// from the adaptive target directly.
-		if c.H.AllocatedBytes() >= c.fullTarget.Load() {
-			c.request(true)
-		}
-		return
-	}
-	if c.youngAlloc.Load() >= int64(c.cfg.YoungBytes) {
+	case TriggerPartial:
 		c.request(false)
 	}
-	// Full collections in the generational modes are decided at the
-	// end of a partial, from what the partial failed to reclaim (see
-	// Cycle): young garbage must not trip the full-heap trigger.
 }
 
-// retarget recomputes the adaptive full-collection target after a full
-// collection: the post-collection live estimate plus a fixed headroom,
-// mirroring the paper's grow-on-demand heap.
-func (c *Collector) retarget() {
-	// The next target is based on the heap occupancy at the end of
-	// the cycle — including what the mutators allocated while the
-	// collection ran — and it never decreases: the paper's heap grows
-	// on demand from 1 MB toward 32 MB and is never shrunk, so any
-	// episode in which allocation outruns collection raises the
-	// trigger permanently. This ratchet is what lets the
-	// non-generational collector settle into a bloated heap with
-	// expensive full collections, while frequent cheap partials keep
-	// the generational heap small from the start (compare the
-	// footprints behind Figure 15).
-	t := c.H.AllocatedBytes() + int64(c.cfg.HeadroomBytes)
-	if min := int64(c.cfg.InitialTargetBytes); t < min {
-		t = min
-	}
-	if max := int64(float64(c.H.SizeBytes) * c.cfg.FullThreshold); t > max {
-		t = max
-	}
-	if prev := c.fullTarget.Load(); t < prev {
-		t = prev
-	}
-	c.fullTarget.Store(t)
+// noteFreed uncharges a sweep free batch from the exact heap totals.
+func (c *Collector) noteFreed(objects, bytes int) {
+	c.heapBytes.Add(-int64(bytes))
+	c.heapObjects.Add(-int64(objects))
 }
+
+// HeapBytes returns the exact currently allocated bytes (live plus
+// floating garbage, at cell granularity) — unlike the heap's shard
+// counters it does not lag behind unpublished cache runs.
+func (c *Collector) HeapBytes() int64 { return c.heapBytes.Load() }
+
+// HeapObjects returns the exact currently allocated object count.
+func (c *Collector) HeapObjects() int64 { return c.heapObjects.Load() }
+
+// Pacer exposes the collection-scheduling component.
+func (c *Collector) Pacer() *Pacer { return c.pacer }
 
 // oldestAge returns the current tenure threshold.
-func (c *Collector) oldestAge() uint8 { return uint8(c.dynOldAge.Load()) }
+func (c *Collector) oldestAge() uint8 { return uint8(c.pacer.OldAge()) }
 
 // OldestAge exposes the current (possibly dynamic) tenure threshold.
-func (c *Collector) OldestAge() int { return int(c.dynOldAge.Load()) }
-
-// adjustTenure implements the DynamicTenure policy after a partial
-// collection: high young survival suggests objects need more time to
-// die (raise the threshold, delaying promotion); near-total young
-// mortality means aging buys nothing over simple promotion (lower it).
-func (c *Collector) adjustTenure() {
-	freed, surv := c.cyc.ObjectsFreed, c.cyc.Survivors
-	if freed+surv == 0 {
-		return
-	}
-	survival := float64(surv) / float64(freed+surv)
-	cur := c.dynOldAge.Load()
-	switch {
-	case survival > 0.6 && cur < 10:
-		c.dynOldAge.Store(cur + 1)
-	case survival < 0.2 && cur > 1:
-		c.dynOldAge.Store(cur - 1)
-	}
-}
+func (c *Collector) OldestAge() int { return c.pacer.OldAge() }
 
 // CollectNow runs one synchronous collection cycle on the calling
 // goroutine. The caller must not be a mutator (a mutator would deadlock

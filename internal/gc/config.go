@@ -143,6 +143,16 @@ type Config struct {
 	// trace & sweep").
 	Workers int
 
+	// AllocShards is the number of central free-list shards of the
+	// tiered allocator (per-mutator cache → class shard → page
+	// allocator). 0 — the default — selects one shard per size class,
+	// the maximum: cache refills, flushes and sweep frees of
+	// different size classes then never contend on a lock. 1
+	// degenerates to a single central lock (the pre-sharding
+	// behavior, useful for comparison); values above the class count
+	// are clamped to it.
+	AllocShards int
+
 	// DisableColorToggle runs the baseline with the *original* DLG
 	// create protocol of §2 instead of the color toggle of §5 /
 	// Remark 5.1: no yellow color, the clear color is always white,
@@ -292,6 +302,9 @@ func (c Config) validate() error {
 	}
 	if c.Workers < 1 || c.Workers > 256 {
 		return fmt.Errorf("gc: %w: worker count %d out of [1,256]", ErrInvalidConfig, c.Workers)
+	}
+	if c.AllocShards < 0 || c.AllocShards > 256 {
+		return fmt.Errorf("gc: %w: allocation shard count %d out of [0,256]", ErrInvalidConfig, c.AllocShards)
 	}
 	if c.AllocRetries < 1 || c.AllocRetries > 1000 {
 		return fmt.Errorf("gc: %w: allocation retry bound %d out of [1,1000]", ErrInvalidConfig, c.AllocRetries)

@@ -24,7 +24,7 @@ func (c *Collector) Cycle(full bool) {
 	defer c.cycleMu.Unlock()
 
 	start := time.Now()
-	youngAtStart := c.youngAlloc.Load()
+	youngAtStart := c.pacer.YoungAlloc()
 	kind := metrics.Partial
 	if full {
 		kind = metrics.Full
@@ -35,6 +35,7 @@ func (c *Collector) Cycle(full bool) {
 		c.cyc.WorkerFreed = make([]int, c.cfg.Workers)
 	}
 	c.H.Pages.Reset()
+	allocBase := c.H.AllocStats()
 
 	// --- clear ---
 	toggleFree := c.cfg.DisableColorToggle
@@ -143,11 +144,16 @@ func (c *Collector) Cycle(full bool) {
 		c.cyc.Survivors = c.cyc.ObjectsScanned - c.cyc.InterGenScanned
 	}
 
-	// Bytes allocated while the cycle ran are young for the *next*
-	// cycle: subtract only the pre-cycle portion.
-	c.youngAlloc.Add(-youngAtStart)
 	c.cyc.Duration = time.Since(start)
 	c.cyc.PagesTouched = c.H.Pages.Count()
+	// Allocator activity while the cycle ran: the delta of the shard
+	// counters over the cycle, recorded per cycle and emitted as an
+	// "allocstats" point event.
+	allocNow := c.H.AllocStats()
+	c.cyc.AllocRefills = allocNow.Refills - allocBase.Refills
+	c.cyc.AllocContended = (allocNow.ShardContended + allocNow.PageContended) -
+		(allocBase.ShardContended + allocBase.PageContended)
+	c.emit("allocstats", start, "", c.cyc.AllocRefills, c.cyc.AllocContended)
 	c.emit("cycle", start, kind.String(),
 		int64(c.cyc.ObjectsScanned), int64(c.cyc.ObjectsFreed))
 	c.flushTrace()
@@ -163,16 +169,15 @@ func (c *Collector) Cycle(full bool) {
 			c.cyc.PagesTouched)
 	}
 	if !full && c.cfg.DynamicTenure {
-		c.adjustTenure()
+		c.pacer.NoteSurvival(c.cyc.ObjectsFreed, c.cyc.Survivors)
 	}
-	if full {
-		c.retarget()
-	} else if c.H.AllocatedBytes()-c.youngAlloc.Load() >= c.fullTarget.Load() {
-		// The partial left more than the target alive: the old
-		// generation has grown enough (live data or tenured
-		// garbage) that a full collection is due. This is the
-		// "heap is almost full" trigger of §3.3 evaluated against
-		// what partial collections cannot reclaim.
+	// Retire the cycle with the pacer: consume the young bytes the
+	// cycle covered (bytes allocated while it ran are young for the
+	// *next* cycle), reconcile the occupancy estimate against the
+	// heap's shard counters, and — after a partial — learn whether the
+	// old generation the partial cannot reclaim has grown past the
+	// target, making a full collection due.
+	if c.pacer.EndCycle(youngAtStart, c.H.AllocatedBytes(), full) {
 		c.request(true)
 	}
 	c.cyclesDone.Add(1)

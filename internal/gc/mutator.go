@@ -381,8 +381,7 @@ func (m *Mutator) alloc(ctx context.Context, slots, size int) (heap.Addr, error)
 			if size < heap.HeaderBytes+slots*heap.WordBytes {
 				size = heap.HeaderBytes + slots*heap.WordBytes
 			}
-			m.c.youngAlloc.Add(int64(size))
-			m.c.maybeTrigger()
+			m.c.noteAlloc(size, m.c.H.SizeOf(addr))
 			return addr, nil
 		}
 		if attempt >= m.c.cfg.AllocRetries {

@@ -86,8 +86,10 @@ func (m *Mutator) allocToggleFree(slots, size int) (heap.Addr, error) {
 func (c *Collector) sweepToggleFree() {
 	batch := make([]heap.Addr, 0, freeBatchSize)
 	flush := func() {
-		if len(batch) > 0 {
-			c.cyc.BytesFreed += c.H.FreeBatch(batch)
+		if n := len(batch); n > 0 {
+			bytes := c.H.FreeBatch(batch)
+			c.cyc.BytesFreed += bytes
+			c.noteFreed(n, bytes)
 			batch = batch[:0]
 		}
 	}

@@ -1,0 +1,188 @@
+package gc
+
+import "sync/atomic"
+
+// Trigger is the pacer's verdict on one allocation: whether the
+// collector should be asked for a collection, and which kind.
+type Trigger int
+
+const (
+	TriggerNone    Trigger = iota
+	TriggerPartial         // young allocation passed the generation size (§3.3)
+	TriggerFull            // the heap is (almost) full
+)
+
+// Pacer owns the collection-scheduling policy that used to be scattered
+// through the collector: the young-allocation trigger of §3.3, the
+// adaptive full-collection target modeling the paper's grow-on-demand
+// heap, and the DynamicTenure threshold of §6.
+//
+// The pacer never takes a heap-wide snapshot on the allocation path.
+// NoteAlloc maintains its own occupancy estimate with one atomic add and
+// compares it against cached targets; the estimate is resynchronized
+// against the heap's summed per-shard allocation counters once per cycle
+// (Reconcile/EndCycle), which is also the only time the counters are
+// read. Between reconciliations the estimate can only overshoot — sweep
+// frees are not subtracted until cycle end — and an overshoot at worst
+// requests a collection early, which the collector's staleness check
+// (run) drops after consulting the real counters off the hot path.
+type Pacer struct {
+	// Policy parameters, fixed at construction.
+	generational bool
+	youngBytes   int64
+	emergency    int64 // FullThreshold · heap size: the hard "almost full" bound
+	initialTgt   int64
+	headroom     int64
+
+	// young counts bytes allocated since the last collection (the
+	// §3.3 partial trigger).
+	young atomic.Int64
+
+	// occupancy is the allocated-bytes estimate: incremented by
+	// NoteAlloc, resynchronized from the heap's shard counters at
+	// every reconcile point.
+	occupancy atomic.Int64
+
+	// fullTarget is the adaptive full-collection trigger: a full
+	// cycle is requested once allocated bytes reach it. It models the
+	// paper's growing heap (1 MB initial, 32 MB max): after every
+	// full collection it tracks the live set plus headroom, clamped
+	// to [initialTgt, emergency], and never decreases.
+	fullTarget atomic.Int64
+
+	// dynOldAge is the current tenure threshold; equals the
+	// configured OldAge unless DynamicTenure adjusts it.
+	dynOldAge atomic.Int32
+}
+
+// newPacer derives the pacing policy from the configuration and the
+// actual (block-rounded) heap size.
+func newPacer(cfg Config, heapSize int) *Pacer {
+	p := &Pacer{
+		generational: cfg.Mode.IsGenerational(),
+		youngBytes:   int64(cfg.YoungBytes),
+		emergency:    int64(float64(heapSize) * cfg.FullThreshold),
+		initialTgt:   int64(cfg.InitialTargetBytes),
+		headroom:     int64(cfg.HeadroomBytes),
+	}
+	p.fullTarget.Store(p.initialTgt)
+	p.dynOldAge.Store(int32(cfg.OldAge))
+	return p
+}
+
+// NoteAlloc records size freshly allocated bytes and returns the
+// collection, if any, that the allocation pushes due. Two atomic adds
+// and at most two atomic loads — no heap traversal, no locks.
+func (p *Pacer) NoteAlloc(size int) Trigger {
+	occ := p.occupancy.Add(int64(size))
+	young := p.young.Add(int64(size))
+	// Emergency bound: the heap is almost full regardless of mode.
+	if occ >= p.emergency {
+		return TriggerFull
+	}
+	if !p.generational {
+		// Without generations every collection is full and fires
+		// from the adaptive target directly.
+		if occ >= p.fullTarget.Load() {
+			return TriggerFull
+		}
+		return TriggerNone
+	}
+	if young >= p.youngBytes {
+		return TriggerPartial
+	}
+	// Full collections in the generational modes are decided at the
+	// end of a partial, from what the partial failed to reclaim
+	// (EndCycle): young garbage must not trip the full-heap trigger.
+	return TriggerNone
+}
+
+// YoungAlloc returns the bytes allocated since the last collection.
+func (p *Pacer) YoungAlloc() int64 { return p.young.Load() }
+
+// Target returns the current adaptive full-collection target.
+func (p *Pacer) Target() int64 { return p.fullTarget.Load() }
+
+// PartialDue reports whether the young-generation trigger still holds;
+// the collector's staleness check for queued partial requests.
+func (p *Pacer) PartialDue() bool { return p.young.Load() >= p.youngBytes }
+
+// FullDue reports whether allocated bytes (the caller reads the real
+// counters, off the hot path) still warrant a full collection.
+func (p *Pacer) FullDue(allocated int64) bool {
+	return allocated >= p.fullTarget.Load()
+}
+
+// Reconcile resynchronizes the occupancy estimate with the heap's true
+// allocated bytes (summed from the per-shard counters by the caller).
+// Implemented as a delta add so concurrent NoteAlloc contributions
+// landing after the load are preserved rather than overwritten.
+func (p *Pacer) Reconcile(allocated int64) {
+	p.occupancy.Add(allocated - p.occupancy.Load())
+}
+
+// EndCycle retires one collection: the young bytes the cycle consumed
+// are subtracted (bytes allocated while it ran are young for the next
+// cycle), the occupancy estimate is reconciled, and after a full
+// collection the adaptive target is recomputed. For a partial it
+// reports whether the leftover — what the partial could not reclaim —
+// has grown past the target, i.e. a full collection is now due: the
+// "heap is almost full" trigger of §3.3 evaluated against the old
+// generation only.
+func (p *Pacer) EndCycle(youngAtStart, allocated int64, full bool) (fullDue bool) {
+	young := p.young.Add(-youngAtStart)
+	p.Reconcile(allocated)
+	if full {
+		p.Retarget(allocated)
+		return false
+	}
+	return allocated-young >= p.fullTarget.Load()
+}
+
+// Retarget recomputes the adaptive full-collection target after a full
+// collection: the post-collection occupancy plus a fixed headroom,
+// mirroring the paper's grow-on-demand heap.
+//
+// The next target is based on the heap occupancy at the end of the
+// cycle — including what the mutators allocated while the collection
+// ran — and it never decreases: the paper's heap grows on demand from
+// 1 MB toward 32 MB and is never shrunk, so any episode in which
+// allocation outruns collection raises the trigger permanently. This
+// ratchet is what lets the non-generational collector settle into a
+// bloated heap with expensive full collections, while frequent cheap
+// partials keep the generational heap small from the start (compare
+// the footprints behind Figure 15).
+func (p *Pacer) Retarget(allocated int64) {
+	t := allocated + p.headroom
+	if t < p.initialTgt {
+		t = p.initialTgt
+	}
+	if t > p.emergency {
+		t = p.emergency
+	}
+	if prev := p.fullTarget.Load(); t < prev {
+		t = prev
+	}
+	p.fullTarget.Store(t)
+}
+
+// OldAge returns the current tenure threshold.
+func (p *Pacer) OldAge() int { return int(p.dynOldAge.Load()) }
+
+// NoteSurvival implements the DynamicTenure policy after a partial
+// collection: high young survival suggests objects need more time to
+// die (raise the threshold, delaying promotion); near-total young
+// mortality means aging buys nothing over simple promotion (lower it).
+func (p *Pacer) NoteSurvival(freed, survivors int) {
+	if freed+survivors == 0 {
+		return
+	}
+	survival := float64(survivors) / float64(freed+survivors)
+	cur := p.dynOldAge.Load()
+	switch {
+	case survival > 0.6 && cur < 10:
+		p.dynOldAge.Store(cur + 1)
+	case survival < 0.2 && cur > 1:
+		p.dynOldAge.Store(cur - 1)
+	}
+}

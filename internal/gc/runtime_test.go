@@ -113,16 +113,17 @@ func TestStopIsIdempotent(t *testing.T) {
 // tracks occupancy plus headroom.
 func TestRetargetRatchet(t *testing.T) {
 	c := newTestCollector(t, Generational)
-	before := c.fullTarget.Load()
-	c.retarget()
-	after := c.fullTarget.Load()
+	p := c.Pacer()
+	before := p.Target()
+	p.Retarget(c.H.AllocatedBytes())
+	after := p.Target()
 	if after < before {
 		t.Fatalf("target shrank: %d -> %d", before, after)
 	}
 	// Force it high, retarget with an empty heap: must not drop.
-	c.fullTarget.Store(10 << 20)
-	c.retarget()
-	if c.fullTarget.Load() < 10<<20 {
+	p.fullTarget.Store(10 << 20)
+	p.Retarget(c.H.AllocatedBytes())
+	if p.Target() < 10<<20 {
 		t.Fatal("ratchet violated")
 	}
 }

@@ -23,8 +23,10 @@ type sweepState struct {
 // flush returns the batched dead cells to the heap under one heap-lock
 // acquisition.
 func (st *sweepState) flush(c *Collector) {
-	if len(st.batch) > 0 {
-		st.bytesFreed += c.H.FreeBatch(st.batch)
+	if n := len(st.batch); n > 0 {
+		bytes := c.H.FreeBatch(st.batch)
+		st.bytesFreed += bytes
+		c.noteFreed(n, bytes)
 		st.batch = st.batch[:0]
 	}
 }

@@ -13,6 +13,9 @@ import (
 //
 // Checks:
 //   - allocator bookkeeping (delegated to heap.CheckIntegrity),
+//   - exact shard-counter reconciliation — cached cells and allocation
+//     totals against the per-block state and a color census — which is
+//     only meaningful at quiescence (heap.ReconcileCounters),
 //   - every object reachable from the global roots and the registered
 //     mutators' roots is allocated (not blue) — i.e. the collector never
 //     freed a live object,
@@ -20,8 +23,29 @@ import (
 func (c *Collector) Verify() error {
 	c.cycleMu.Lock()
 	defer c.cycleMu.Unlock()
+	// Fold every attached mutator's pending allocation accounting into
+	// the shard counters so the reconciliation below is exact. Safe
+	// because Verify's contract is quiescence: the caches' owners are
+	// not allocating while we touch them.
+	c.muts.Lock()
+	attached := append([]*Mutator(nil), c.muts.list...)
+	c.muts.Unlock()
+	for _, m := range attached {
+		c.H.PublishAllocs(&m.cache)
+	}
 	if err := c.H.CheckIntegrity(); err != nil {
 		return err
+	}
+	if err := c.H.ReconcileCounters(); err != nil {
+		return err
+	}
+	// With every cache published the heap counters are exact, so the
+	// collector's own totals must agree with them to the object.
+	if got, want := c.HeapBytes(), c.H.AllocatedBytes(); got != want {
+		return fmt.Errorf("gc: collector heap-bytes total %d, heap counters say %d", got, want)
+	}
+	if got, want := c.HeapObjects(), c.H.AllocatedObjects(); got != want {
+		return fmt.Errorf("gc: collector heap-objects total %d, heap counters say %d", got, want)
 	}
 	seen := make(map[heap.Addr]bool)
 	var stack []heap.Addr

@@ -5,10 +5,22 @@ import "sync/atomic"
 // Cache is a per-mutator allocation cache: one free-cell list per size
 // class, threaded through the first word of each (blue) cell. It is the
 // stand-in for the DLG thread-local allocation mechanism the paper
-// mentions in §7: the common allocation path takes no lock.
+// mentions in §7: the common allocation path takes no lock — and no
+// atomic read-modify-write either: the accounting for popped cells is
+// deferred in pendBlock/pendN and published in batches (see
+// publishAllocRun), so the steady-state cost per allocation is plain
+// loads and stores plus the object-initialization barrier.
 type Cache struct {
 	head  [NumClasses]Addr
 	count [NumClasses]int
+	// The pending allocation run: pendN[c] cells of class c were popped
+	// from block pendBlock[c] and not yet folded into the shard and
+	// block counters. Publication happens when the pop stream crosses a
+	// block boundary, at refill, at Flush, and on demand via
+	// PublishAllocs. Block 0 never holds cells, so the zero value means
+	// "no run open".
+	pendBlock [NumClasses]uint32
+	pendN     [NumClasses]int32
 }
 
 // refillBatch bounds how many free cells one refill moves from a block's
@@ -52,17 +64,53 @@ func (h *Heap) AllocBlue(c *Cache, slots int, size int) (Addr, error) {
 	addr := c.head[class]
 	c.head[class] = atomic.LoadUint32(&h.mem[addr/WordBytes])
 	c.count[class]--
-	h.blocks[addr/BlockSize].cached.Add(-1)
-	h.initObject(addr, slots, cell)
+	if b := addr / BlockSize; b != c.pendBlock[class] {
+		h.publishAllocRun(c, class, b)
+	}
+	c.pendN[class]++
+	h.initObject(addr, slots)
 	return addr, nil
+}
+
+// publishAllocRun folds the cache's pending allocation run for class —
+// pendN cells popped from block pendBlock since the last publication —
+// into the shared counters, then restarts the run at newBlock. The
+// block and shard counters move by the same amount in one publication,
+// so the cached-vs-blocks reconcile holds at every publication
+// boundary; the allocation totals simply lag the true values by the
+// open runs (at most one block's worth of cells per class per cache)
+// until the next refill, Flush or PublishAllocs.
+func (h *Heap) publishAllocRun(c *Cache, class int, newBlock uint32) {
+	if n := c.pendN[class]; n != 0 {
+		h.blocks[c.pendBlock[class]].cached.Add(-n)
+		s := h.shardFor(class)
+		s.cached.Add(-int64(n))
+		s.allocatedBytes.Add(int64(n) * int64(classSizes[class]))
+		s.allocatedObjects.Add(int64(n))
+		c.pendN[class] = 0
+	}
+	c.pendBlock[class] = newBlock
+}
+
+// PublishAllocs folds all of the cache's pending allocation accounting
+// into the shard and block counters without returning any cells. Refill
+// and Flush publish implicitly; callers that need the global counters
+// exact while keeping the cache warm — the verifier, tests asserting on
+// AllocatedBytes — call this. The cache's owner must not be allocating
+// concurrently.
+func (h *Heap) PublishAllocs(c *Cache) {
+	for class := 0; class < NumClasses; class++ {
+		h.publishAllocRun(c, class, 0)
+	}
 }
 
 // initObject prepares a blue cell as a new object, leaving it blue.
 // Order matters: the metadata and zeroed slots must be published before
 // the caller's color store takes the cell out of blue, because the
 // collector reads the color first (acquire) and only then the metadata
-// and slots.
-func (h *Heap) initObject(addr Addr, slots, size int) {
+// and slots. Accounting is the caller's job (the counter depends on the
+// tier the cell came from).
+func (h *Heap) initObject(addr Addr, slots int) {
 	g := addr / Granule
 	atomic.StoreUint32(&h.slotsOf[g], uint32(slots))
 	h.ages[g] = 0
@@ -70,22 +118,25 @@ func (h *Heap) initObject(addr Addr, slots, size int) {
 	for i := 0; i < slots; i++ {
 		atomic.StoreUint32(&h.mem[base+i], 0)
 	}
-	h.allocatedBytes.Add(int64(size))
-	h.allocatedObjects.Add(1)
 }
 
 // refill moves up to refillBatch free cells of the class into the cache,
-// formatting a fresh block if no partially free block exists.
+// formatting a fresh block if no partially free block exists. Only the
+// class's shard lock is held for list surgery; the page lock is taken
+// briefly inside takeFreeBlock when a new block is needed.
 func (h *Heap) refill(c *Cache, class int) error {
-	h.mu.Lock()
-	defer h.mu.Unlock()
+	s := h.shardFor(class)
+	h.publishAllocRun(c, class, 0)
+	s.lock()
+	defer s.unlock()
+	s.refills.Add(1)
 	for {
 		// Prefer a block that already has free cells.
 		list := h.partial[class]
 		if n := len(list); n > 0 {
 			b := list[n-1]
 			bm := &h.blocks[b]
-			taken := h.takeCells(c, class, bm)
+			taken := h.takeCells(c, class, s, bm)
 			if bm.freeCells == 0 {
 				h.partial[class] = list[:n-1]
 				bm.inPartial = false
@@ -96,20 +147,19 @@ func (h *Heap) refill(c *Cache, class int) error {
 			continue
 		}
 		// Otherwise format a fresh block for this class.
-		if len(h.freeBlocks) == 0 {
+		b, ok := h.takeFreeBlock(class)
+		if !ok {
 			return ErrOutOfMemory
 		}
-		b := h.freeBlocks[len(h.freeBlocks)-1]
-		h.freeBlocks = h.freeBlocks[:len(h.freeBlocks)-1]
-		h.formatBlock(b, class)
+		h.formatBlock(b, class, s)
 		h.partial[class] = append(h.partial[class], b)
 		h.blocks[b].inPartial = true
 	}
 }
 
 // takeCells moves up to refillBatch cells from the block's free list into
-// the cache. Caller holds h.mu.
-func (h *Heap) takeCells(c *Cache, class int, bm *blockMeta) int {
+// the cache. Caller holds the class shard lock s.
+func (h *Heap) takeCells(c *Cache, class int, s *centralShard, bm *blockMeta) int {
 	taken := 0
 	for bm.freeCells > 0 && taken < refillBatch {
 		addr := bm.freeHead
@@ -121,14 +171,37 @@ func (h *Heap) takeCells(c *Cache, class int, bm *blockMeta) int {
 	}
 	c.count[class] += taken
 	bm.cached.Add(int32(taken))
+	s.cached.Add(int64(taken))
+	s.freeCells.Add(-int64(taken))
 	return taken
 }
 
-// formatBlock carves a free block into blue cells of the class, linked
-// into the block's free list. Caller holds h.mu.
-func (h *Heap) formatBlock(b uint32, class int) {
+// takeFreeBlock pops one unassigned block from the page pool and stamps
+// it with its destination class while still under the page lock: the
+// large-object scan (findRun, also under the page lock) must never see
+// a block that is neither in the free pool nor assigned, or it could
+// hand the same block to two owners. Caller holds the class shard lock
+// (shard → page is the lock order).
+func (h *Heap) takeFreeBlock(class int) (uint32, bool) {
+	p := &h.pages
+	p.lock()
+	defer p.unlock()
+	n := len(p.freeBlocks)
+	if n == 0 {
+		return 0, false
+	}
+	b := p.freeBlocks[n-1]
+	p.freeBlocks = p.freeBlocks[:n-1]
+	h.blocks[b].class.Store(int32(class))
+	return b, true
+}
+
+// formatBlock carves a block already stamped with the class into blue
+// cells linked into the block's free list. Caller holds the class shard
+// lock s; the block is not yet on any partial list, so nothing else can
+// touch its cells.
+func (h *Heap) formatBlock(b uint32, class int, s *centralShard) {
 	bm := &h.blocks[b]
-	bm.class.Store(int32(class))
 	bm.freeHead = 0
 	bm.freeCells = 0
 	cell := classSizes[class]
@@ -140,16 +213,18 @@ func (h *Heap) formatBlock(b uint32, class int) {
 		bm.freeHead = addr
 		bm.freeCells++
 	}
+	s.freeCells.Add(int64(bm.freeCells))
 }
 
 // allocLarge allocates an object spanning whole blocks, leaving it
 // blue. size is already rounded to a granule multiple.
 func (h *Heap) allocLarge(slots, size int) (Addr, error) {
 	n := (size + BlockSize - 1) / BlockSize
-	h.mu.Lock()
+	p := &h.pages
+	p.lock()
 	start := h.findRun(n)
 	if start < 0 {
-		h.mu.Unlock()
+		p.unlock()
 		return 0, ErrOutOfMemory
 	}
 	h.blocks[start].class.Store(blockLargeHead)
@@ -158,17 +233,19 @@ func (h *Heap) allocLarge(slots, size int) (Addr, error) {
 		h.blocks[start+i].class.Store(blockLargeCont)
 	}
 	h.removeFreeBlocks(start, n)
-	h.mu.Unlock()
+	p.unlock()
 
 	addr := Addr(start) * BlockSize
 	atomic.StoreUint32(&h.largeSize[addr/Granule], uint32(n*BlockSize))
-	h.initObject(addr, slots, n*BlockSize)
+	h.initObject(addr, slots)
+	p.largeBytes.Add(int64(n * BlockSize))
+	p.largeObjects.Add(1)
 	return addr, nil
 }
 
 // findRun locates n contiguous free blocks, returning the first index or
-// -1. Caller holds h.mu. Linear scan: the heap has at most a few
-// thousand blocks and large allocations are rare.
+// -1. Caller holds the page lock. Linear scan: the heap has at most a
+// few thousand blocks and large allocations are rare.
 func (h *Heap) findRun(n int) int {
 	run := 0
 	for b := 1; b < h.nBlocks; b++ {
@@ -185,40 +262,85 @@ func (h *Heap) findRun(n int) int {
 }
 
 // removeFreeBlocks deletes blocks [start, start+n) from the free stack.
-// Caller holds h.mu.
+// Caller holds the page lock.
 func (h *Heap) removeFreeBlocks(start, n int) {
-	out := h.freeBlocks[:0]
-	for _, b := range h.freeBlocks {
+	out := h.pages.freeBlocks[:0]
+	for _, b := range h.pages.freeBlocks {
 		if int(b) < start || int(b) >= start+n {
 			out = append(out, b)
 		}
 	}
-	h.freeBlocks = out
+	h.pages.freeBlocks = out
+}
+
+// blockChain is one block's worth of cache cells being returned by a
+// flush: a pre-threaded sublist that splices into the block's free list
+// with two stores.
+type blockChain struct {
+	block uint32
+	head  Addr
+	tail  Addr
+	n     int32
 }
 
 // Flush returns all cells held in the cache to their blocks' free lists.
 // Called when a mutator detaches so its cached cells can be reused and
-// their blocks eventually reclaimed.
+// their blocks eventually reclaimed. Per class, the cells are bucketed
+// into per-block chains without any lock — the cells are private to the
+// cache, so rethreading their link words races with nothing — and then
+// spliced under one shard lock acquisition: O(blocks) lock work instead
+// of O(cells).
 func (h *Heap) Flush(c *Cache) {
-	h.mu.Lock()
-	defer h.mu.Unlock()
 	for class := 0; class < NumClasses; class++ {
-		for c.count[class] > 0 {
-			addr := c.head[class]
-			c.head[class] = atomic.LoadUint32(&h.mem[addr/WordBytes])
-			c.count[class]--
-			b := addr / BlockSize
-			bm := &h.blocks[b]
-			atomic.StoreUint32(&h.mem[addr/WordBytes], bm.freeHead)
-			bm.freeHead = addr
-			bm.freeCells++
-			bm.cached.Add(-1)
-			if !bm.inPartial {
-				h.partial[class] = append(h.partial[class], b)
-				bm.inPartial = true
-			}
+		h.publishAllocRun(c, class, 0)
+		if c.count[class] > 0 {
+			h.flushClass(c, class)
 		}
 	}
+}
+
+func (h *Heap) flushClass(c *Cache, class int) {
+	var chains []blockChain
+	for c.count[class] > 0 {
+		addr := c.head[class]
+		c.head[class] = atomic.LoadUint32(&h.mem[addr/WordBytes])
+		c.count[class]--
+		b := addr / BlockSize
+		var ch *blockChain
+		for i := range chains {
+			if chains[i].block == b {
+				ch = &chains[i]
+				break
+			}
+		}
+		if ch == nil {
+			chains = append(chains, blockChain{block: b, head: addr, tail: addr, n: 1})
+			continue
+		}
+		atomic.StoreUint32(&h.mem[addr/WordBytes], ch.head)
+		ch.head = addr
+		ch.n++
+	}
+	total := int64(0)
+	s := h.shardFor(class)
+	s.lock()
+	s.flushes.Add(1)
+	for i := range chains {
+		ch := &chains[i]
+		bm := &h.blocks[ch.block]
+		atomic.StoreUint32(&h.mem[ch.tail/WordBytes], bm.freeHead)
+		bm.freeHead = ch.head
+		bm.freeCells += ch.n
+		bm.cached.Add(-ch.n)
+		if !bm.inPartial {
+			h.partial[class] = append(h.partial[class], ch.block)
+			bm.inPartial = true
+		}
+		total += int64(ch.n)
+	}
+	s.freeCells.Add(total)
+	s.cached.Add(-total)
+	s.unlock()
 }
 
 // FreeCell releases one dead cell during sweep: the object is recolored
@@ -231,13 +353,14 @@ func (h *Heap) Flush(c *Cache) {
 func (h *Heap) FreeCell(addr Addr) int {
 	b := addr / BlockSize
 	bm := &h.blocks[b]
-	class := bm.class.Load()
-	if class == blockLargeHead {
+	class := int(bm.class.Load())
+	if class == int(blockLargeHead) {
 		return h.freeLarge(addr)
 	}
 	size := classSizes[class]
 	h.SetColor(addr, Blue)
-	h.mu.Lock()
+	s := h.shardFor(class)
+	s.lock()
 	atomic.StoreUint32(&h.mem[addr/WordBytes], bm.freeHead)
 	bm.freeHead = addr
 	bm.freeCells++
@@ -245,61 +368,132 @@ func (h *Heap) FreeCell(addr Addr) int {
 		h.partial[class] = append(h.partial[class], b)
 		bm.inPartial = true
 	}
-	h.mu.Unlock()
-	h.allocatedBytes.Add(-int64(size))
-	h.allocatedObjects.Add(-1)
+	s.freeCells.Add(1)
+	s.unlock()
+	s.allocatedBytes.Add(-int64(size))
+	s.allocatedObjects.Add(-1)
 	return size
+}
+
+// FreeBatch frees a batch of dead cells with one shard lock acquisition
+// per size class present in the batch. Large objects in the batch are
+// freed individually. It returns the total bytes freed.
+func (h *Heap) FreeBatch(addrs []Addr) int {
+	total := 0
+	var larges []Addr
+	var byClass [NumClasses][]Addr
+	for _, addr := range addrs {
+		class := h.blocks[addr/BlockSize].class.Load()
+		if class == blockLargeHead {
+			larges = append(larges, addr)
+			continue
+		}
+		byClass[class] = append(byClass[class], addr)
+	}
+	for class, list := range byClass {
+		if len(list) > 0 {
+			total += h.freeClassBatch(class, list)
+		}
+	}
+	for _, addr := range larges {
+		total += h.freeLarge(addr)
+	}
+	return total
+}
+
+// freeClassBatch threads a batch of dead cells of one class back onto
+// their blocks' free lists under a single shard lock acquisition.
+func (h *Heap) freeClassBatch(class int, list []Addr) int {
+	size := classSizes[class]
+	s := h.shardFor(class)
+	s.lock()
+	for _, addr := range list {
+		b := addr / BlockSize
+		bm := &h.blocks[b]
+		h.SetColor(addr, Blue)
+		atomic.StoreUint32(&h.mem[addr/WordBytes], bm.freeHead)
+		bm.freeHead = addr
+		bm.freeCells++
+		if !bm.inPartial {
+			h.partial[class] = append(h.partial[class], b)
+			bm.inPartial = true
+		}
+	}
+	s.freeCells.Add(int64(len(list)))
+	s.unlock()
+	s.allocatedBytes.Add(-int64(size * len(list)))
+	s.allocatedObjects.Add(-int64(len(list)))
+	return size * len(list)
 }
 
 // freeLarge returns a large object's blocks to the free pool.
 func (h *Heap) freeLarge(addr Addr) int {
 	h.SetColor(addr, Blue)
 	b := int(addr / BlockSize)
-	h.mu.Lock()
+	p := &h.pages
+	p.lock()
 	n := int(h.blocks[b].nBlocks)
 	size := n * BlockSize
 	for i := 0; i < n; i++ {
 		h.blocks[b+i].class.Store(blockFree)
 		h.blocks[b+i].nBlocks = 0
-		h.freeBlocks = append(h.freeBlocks, uint32(b+i))
+		p.freeBlocks = append(p.freeBlocks, uint32(b+i))
 	}
-	h.mu.Unlock()
-	h.allocatedBytes.Add(-int64(size))
-	h.allocatedObjects.Add(-1)
+	p.unlock()
+	p.largeBytes.Add(-int64(size))
+	p.largeObjects.Add(-1)
 	return size
 }
 
 // ReclaimEmptyBlocks returns fully free small-object blocks (no live
 // cells, none cached) to the free pool so another size class can reuse
 // them. The collector calls it at the end of sweep.
+//
+// Retirement is two-phase to respect the invariant that class
+// transitions happen only under the page lock: under each shard lock
+// the block is stripped from its partial list and its free list reset
+// (it then looks like a fully allocated block with no free cells —
+// harmless, nothing can allocate from or free into it); the blockFree
+// stamp and free-pool push happen under the page lock afterwards.
 func (h *Heap) ReclaimEmptyBlocks() int {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	reclaimed := 0
+	var freed []uint32
 	for class := 0; class < NumClasses; class++ {
+		s := h.shardFor(class)
+		s.lock()
 		cells := int32(CellsPerBlock(class))
 		out := h.partial[class][:0]
+		removed := int64(0)
 		for _, b := range h.partial[class] {
 			bm := &h.blocks[b]
 			if bm.freeCells == cells && bm.cached.Load() == 0 {
-				bm.class.Store(blockFree)
 				bm.freeHead = 0
 				bm.freeCells = 0
 				bm.inPartial = false
-				h.freeBlocks = append(h.freeBlocks, b)
-				reclaimed++
+				freed = append(freed, b)
+				removed += int64(cells)
 			} else {
 				out = append(out, b)
 			}
 		}
 		h.partial[class] = out
+		s.freeCells.Add(-removed)
+		s.unlock()
 	}
-	return reclaimed
+	if len(freed) > 0 {
+		p := &h.pages
+		p.lock()
+		for _, b := range freed {
+			h.blocks[b].class.Store(blockFree)
+			p.freeBlocks = append(p.freeBlocks, b)
+		}
+		p.unlock()
+	}
+	return len(freed)
 }
 
 // FreeBlockCount reports how many unassigned blocks remain.
 func (h *Heap) FreeBlockCount() int {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	return len(h.freeBlocks)
+	h.pages.lock()
+	defer h.pages.unlock()
+	return len(h.pages.freeBlocks)
 }

@@ -50,6 +50,7 @@ func TestAllocBasics(t *testing.T) {
 	if !h.ValidObject(addr) {
 		t.Error("ValidObject is false for a fresh object")
 	}
+	h.PublishAllocs(&c)
 	if h.AllocatedObjects() != 1 || h.AllocatedBytes() != 32 {
 		t.Errorf("accounting = (%d objects, %d bytes), want (1, 32)",
 			h.AllocatedObjects(), h.AllocatedBytes())
@@ -104,6 +105,7 @@ func TestFreeCellAccounting(t *testing.T) {
 	if h.Color(addr) != Blue {
 		t.Errorf("freed cell color = %v, want blue", h.Color(addr))
 	}
+	h.PublishAllocs(&c)
 	if h.AllocatedObjects() != 0 || h.AllocatedBytes() != 0 {
 		t.Errorf("accounting after free = (%d, %d), want zeros",
 			h.AllocatedObjects(), h.AllocatedBytes())
@@ -129,6 +131,7 @@ func TestFreeBatch(t *testing.T) {
 	if got := h.FreeBatch(addrs); got != total {
 		t.Errorf("FreeBatch freed %d bytes, want %d", got, total)
 	}
+	h.PublishAllocs(&c)
 	if h.AllocatedObjects() != 0 {
 		t.Errorf("objects after batch free = %d, want 0", h.AllocatedObjects())
 	}
@@ -326,12 +329,14 @@ func TestBlockQuiet(t *testing.T) {
 	if h.BlockQuiet(b) {
 		t.Error("block with cached cells reported quiet")
 	}
-	// Exhaust the cache so every cell of the block is live.
+	// Exhaust the cache so every cell of the block is live; quietness
+	// shows once the cache publishes its pending allocation run.
 	for i := 0; i < CellsPerBlock(0)-1; i++ {
 		if _, err := h.Alloc(&c, 0, 16, White); err != nil {
 			t.Fatal(err)
 		}
 	}
+	h.PublishAllocs(&c)
 	if !h.BlockQuiet(b) {
 		t.Error("fully allocated block not quiet")
 	}
@@ -445,6 +450,7 @@ func TestAllocStressAllClasses(t *testing.T) {
 	if err := h.CheckIntegrity(); err != nil {
 		t.Error(err)
 	}
+	h.PublishAllocs(&c)
 	if got := int(h.AllocatedObjects()); got != len(addrs)/2 {
 		t.Errorf("allocated objects = %d, want %d", got, len(addrs)/2)
 	}
@@ -526,6 +532,7 @@ func TestAllocBlueLeavesBlue(t *testing.T) {
 	if h.Slots(a) != 2 {
 		t.Fatalf("slots = %d", h.Slots(a))
 	}
+	h.PublishAllocs(&c)
 	if h.AllocatedObjects() != 1 {
 		t.Fatalf("accounting = %d", h.AllocatedObjects())
 	}

@@ -1,0 +1,43 @@
+package heap
+
+// Allocation-churn workload shared by BenchmarkAllocParallel and the
+// cmd/gcbench mutator-count sweep. It lives in a non-test file so the
+// command can drive exactly the loop the benchmark measures.
+
+// AllocChurnSizes is the mixed request-size schedule of the allocation
+// benchmark: one representative request per frequently used size class,
+// so concurrent mutators starting at different offsets exercise
+// different classes most of the time — the access pattern the per-class
+// central lists are sharded for.
+var AllocChurnSizes = [...]int{16, 40, 96, 224, 480, 992}
+
+// allocChurnWindow is how many live cells each churner keeps before
+// batch-freeing them, mimicking the collector's sweep cadence
+// (freeBatchSize in the gc package is 256 as well).
+const allocChurnWindow = 256
+
+// AllocChurn runs iters allocation operations as one benchmark mutator:
+// it owns a private Cache, cycles through AllocChurnSizes offset by id,
+// keeps a window of allocChurnWindow live cells, and batch-frees the
+// window the way the sweep does (FreeBatch), so blocks recycle and the
+// loop runs indefinitely inside a bounded heap. The cache is flushed on
+// return, as a detaching mutator would.
+func (h *Heap) AllocChurn(id, iters int) error {
+	var c Cache
+	defer h.Flush(&c)
+	window := make([]Addr, 0, allocChurnWindow)
+	for i := 0; i < iters; i++ {
+		size := AllocChurnSizes[(i+id)%len(AllocChurnSizes)]
+		a, err := h.Alloc(&c, 2, size, White)
+		if err != nil {
+			return err
+		}
+		window = append(window, a)
+		if len(window) == cap(window) {
+			h.FreeBatch(window)
+			window = window[:0]
+		}
+	}
+	h.FreeBatch(window)
+	return nil
+}

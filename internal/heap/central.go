@@ -1,0 +1,158 @@
+package heap
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// The allocator is tiered: per-mutator Cache (lock-free) → per-class
+// central shard (one small lock each) → page allocator (one narrow lock
+// for whole-block acquisition and retirement). Size classes are mapped
+// onto shards round-robin (class % nShards); with the default shard
+// count of NumClasses the mapping is the identity and two mutators
+// refilling different classes never touch the same lock.
+//
+// Lock ordering: shard → page. A thread holding a shard lock may take
+// the page lock (refill formatting a fresh block, reclaim retiring an
+// empty one); the reverse order never happens. CheckIntegrity, which
+// needs a globally consistent view, takes every shard lock in index
+// order and then the page lock — compatible with the same ordering.
+//
+// Block class transitions (free ↔ assigned, free ↔ large) happen only
+// under the page lock, so the large-object scan (findRun), which runs
+// under the page lock, always sees each block either in the free pool
+// or already stamped with its destination.
+
+// centralShard is one lock's worth of central free lists: the partial
+// lists of the classes mapped to it, plus the allocation counters of
+// those classes. Counters are atomics so the hot path (cache pop) and
+// Stats() never need the lock.
+type centralShard struct {
+	mu sync.Mutex
+
+	// Contention census. locks counts acquisitions, contended the
+	// subset that found the lock held (TryLock failed first).
+	locks     atomic.Int64
+	contended atomic.Int64
+
+	// refills counts cache refills served, flushes cache flushes
+	// received (per class with cells, not per detach).
+	refills atomic.Int64
+	flushes atomic.Int64
+
+	// freeCells is the number of blue cells on the free lists of this
+	// shard's blocks (sum of blockMeta.freeCells); mutated only under
+	// mu. cached is the number of this shard's cells parked in mutator
+	// caches; the allocation fast path decrements it without the lock.
+	freeCells atomic.Int64
+	cached    atomic.Int64
+
+	// Bytes/objects currently allocated from this shard's classes.
+	allocatedBytes   atomic.Int64
+	allocatedObjects atomic.Int64
+
+	// Pad to a multiple of the cache-line size so adjacent shards in
+	// the shards slice do not false-share.
+	_ [40]byte
+}
+
+// lock acquires the shard lock, recording whether the acquisition
+// contended. TryLock-then-Lock keeps the uncontended path one CAS.
+func (s *centralShard) lock() {
+	s.locks.Add(1)
+	if s.mu.TryLock() {
+		return
+	}
+	s.contended.Add(1)
+	s.mu.Lock()
+}
+
+func (s *centralShard) unlock() { s.mu.Unlock() }
+
+// pageAllocator owns whole-block state: the pool of unassigned blocks
+// and the contiguous-run scan for large objects. Its lock is the bottom
+// of the lock order and is held only for block-granularity operations —
+// never while formatting or walking cell free lists.
+type pageAllocator struct {
+	mu         sync.Mutex
+	locks      atomic.Int64
+	contended  atomic.Int64
+	freeBlocks []uint32 // indices of unassigned blocks
+
+	// Bytes/objects currently allocated as large (multi-block) objects.
+	largeBytes   atomic.Int64
+	largeObjects atomic.Int64
+}
+
+func (p *pageAllocator) lock() {
+	p.locks.Add(1)
+	if p.mu.TryLock() {
+		return
+	}
+	p.contended.Add(1)
+	p.mu.Lock()
+}
+
+func (p *pageAllocator) unlock() { p.mu.Unlock() }
+
+// shardFor returns the central shard that owns size class `class`.
+func (h *Heap) shardFor(class int) *centralShard {
+	return &h.shards[class%len(h.shards)]
+}
+
+// NumShards reports how many central shards the heap was built with.
+func (h *Heap) NumShards() int { return len(h.shards) }
+
+// ShardStats is the counter snapshot of one central shard.
+type ShardStats struct {
+	Locks, Contended int64
+	Refills, Flushes int64
+	FreeCells        int64
+	CachedCells      int64
+	AllocatedBytes   int64
+	AllocatedObjects int64
+}
+
+// AllocStats aggregates the allocator's contention and throughput
+// counters across tiers. CachedCells is approximate while mutators run
+// (the cache pop decrements it without a lock); everything else is
+// exact at the instant each atomic was read.
+type AllocStats struct {
+	Shards                     int
+	ShardLocks, ShardContended int64
+	PageLocks, PageContended   int64
+	Refills, Flushes           int64
+	FreeCells, CachedCells     int64
+	PerShard                   []ShardStats
+}
+
+// AllocStats snapshots the tiered allocator's counters.
+func (h *Heap) AllocStats() AllocStats {
+	a := AllocStats{
+		Shards:        len(h.shards),
+		PageLocks:     h.pages.locks.Load(),
+		PageContended: h.pages.contended.Load(),
+		PerShard:      make([]ShardStats, len(h.shards)),
+	}
+	for i := range h.shards {
+		s := &h.shards[i]
+		ss := ShardStats{
+			Locks:            s.locks.Load(),
+			Contended:        s.contended.Load(),
+			Refills:          s.refills.Load(),
+			Flushes:          s.flushes.Load(),
+			FreeCells:        s.freeCells.Load(),
+			CachedCells:      s.cached.Load(),
+			AllocatedBytes:   s.allocatedBytes.Load(),
+			AllocatedObjects: s.allocatedObjects.Load(),
+		}
+		a.PerShard[i] = ss
+		a.ShardLocks += ss.Locks
+		a.ShardContended += ss.Contended
+		a.Refills += ss.Refills
+		a.Flushes += ss.Flushes
+		a.FreeCells += ss.FreeCells
+		a.CachedCells += ss.CachedCells
+	}
+	return a
+}

@@ -13,7 +13,6 @@ package heap
 import (
 	"errors"
 	"fmt"
-	"sync"
 	"sync/atomic"
 )
 
@@ -52,8 +51,9 @@ const (
 
 type blockMeta struct {
 	// class is the size-class index, or one of the block* sentinels.
-	// Written under the heap mutex; read without it by the collector's
-	// iteration paths, hence atomic.
+	// Transitions to and from blockFree happen only under the page
+	// lock; read without any lock by the collector's iteration paths,
+	// hence atomic.
 	class atomic.Int32
 
 	// nBlocks is the number of blocks of a large object (head only).
@@ -61,15 +61,15 @@ type blockMeta struct {
 
 	// freeHead is the address of the first free cell of this block;
 	// free cells are threaded through their first word. Guarded by the
-	// heap mutex.
+	// block's class shard lock.
 	freeHead Addr
 
 	// freeCells is the length of the freeHead list. Guarded by the
-	// heap mutex.
+	// class shard lock.
 	freeCells int32
 
 	// inPartial records whether the block is on its class's partial
-	// list. Guarded by the heap mutex.
+	// list. Guarded by the class shard lock.
 	inPartial bool
 
 	// cached counts cells of this block currently sitting in some
@@ -90,6 +90,10 @@ type blockMeta struct {
 // paper relies on the hardware's per-byte store atomicity, which Go does
 // not expose, so the side tables use 32-bit atomics instead — a strictly
 // stronger substitute (see DESIGN.md).
+//
+// Central free-list state is sharded per size class (see central.go):
+// there is no heap-wide mutex. partial[class] is guarded by
+// shardFor(class); the free-block pool by the page allocator's lock.
 type Heap struct {
 	// SizeBytes is the total heap size.
 	SizeBytes int
@@ -118,14 +122,11 @@ type Heap struct {
 
 	blocks []blockMeta
 
-	mu         sync.Mutex
-	freeBlocks []uint32             // indices of unassigned blocks
-	partial    [NumClasses][]uint32 // blocks of a class with free cells
-
-	// Accounting (atomic).
-	allocatedBytes   atomic.Int64
-	allocatedObjects atomic.Int64
-	liveBytesGuess   atomic.Int64
+	// shards are the per-class central free lists; partial[class] is
+	// guarded by shardFor(class).mu. pages owns the free-block pool.
+	shards  []centralShard
+	partial [NumClasses][]uint32 // blocks of a class with free cells
+	pages   pageAllocator
 
 	// Touch instrumentation for the Figure 15 experiment; nil unless
 	// page tracking is enabled.
@@ -137,11 +138,23 @@ type Heap struct {
 // full collection and retrying.
 var ErrOutOfMemory = errors.New("heap: out of memory")
 
-// New creates a heap of the given size. Size is rounded up to a whole
+// New creates a heap of the given size with the default shard count
+// (one central shard per size class). Size is rounded up to a whole
 // number of blocks; block 0 is reserved so that address 0 means nil.
-func New(sizeBytes int) (*Heap, error) {
+func New(sizeBytes int) (*Heap, error) { return NewSharded(sizeBytes, 0) }
+
+// NewSharded creates a heap with an explicit number of central free-list
+// shards. shards <= 0 selects the default (NumClasses, the maximum —
+// every class its own lock); shards == 1 degenerates to a single central
+// lock, the pre-sharding behavior. Values above NumClasses are clamped:
+// the shard is the unit classes are mapped onto, so extra shards would
+// sit idle.
+func NewSharded(sizeBytes, shards int) (*Heap, error) {
 	if sizeBytes < 2*BlockSize {
 		return nil, fmt.Errorf("heap: size %d too small (min %d)", sizeBytes, 2*BlockSize)
+	}
+	if shards <= 0 || shards > NumClasses {
+		shards = NumClasses
 	}
 	nBlocks := (sizeBytes + BlockSize - 1) / BlockSize
 	sizeBytes = nBlocks * BlockSize
@@ -155,13 +168,14 @@ func New(sizeBytes int) (*Heap, error) {
 		ages:      make([]uint8, sizeBytes/Granule),
 		largeSize: make([]uint32, sizeBytes/Granule),
 		blocks:    make([]blockMeta, nBlocks),
+		shards:    make([]centralShard, shards),
 	}
 	for i := range h.blocks {
 		h.blocks[i].class.Store(blockFree)
 	}
 	// Block 0 reserved: nil must never be a valid object address.
 	for i := nBlocks - 1; i >= 1; i-- {
-		h.freeBlocks = append(h.freeBlocks, uint32(i))
+		h.pages.freeBlocks = append(h.pages.freeBlocks, uint32(i))
 	}
 	return h, nil
 }
@@ -174,11 +188,27 @@ func (h *Heap) NumBlocks() int { return h.nBlocks }
 func (h *Heap) NumGranules() int { return h.nGran }
 
 // AllocatedBytes returns the bytes currently allocated (live plus not yet
-// collected garbage); it drives the full-collection trigger.
-func (h *Heap) AllocatedBytes() int64 { return h.allocatedBytes.Load() }
+// collected garbage), summed over the class shards and the large-object
+// pool; it drives the full-collection trigger. While mutators run the
+// value lags the truth by their caches' unpublished allocation runs —
+// bounded by one block's worth of cells per class per cache — and is
+// exact once every cache has published (refill, Flush, PublishAllocs).
+func (h *Heap) AllocatedBytes() int64 {
+	total := h.pages.largeBytes.Load()
+	for i := range h.shards {
+		total += h.shards[i].allocatedBytes.Load()
+	}
+	return total
+}
 
 // AllocatedObjects returns the number of currently allocated objects.
-func (h *Heap) AllocatedObjects() int64 { return h.allocatedObjects.Load() }
+func (h *Heap) AllocatedObjects() int64 {
+	total := h.pages.largeObjects.Load()
+	for i := range h.shards {
+		total += h.shards[i].allocatedObjects.Load()
+	}
+	return total
+}
 
 // Slots returns the number of pointer slots of the object at addr.
 func (h *Heap) Slots(addr Addr) int {
@@ -229,10 +259,20 @@ func (h *Heap) SetAllBlackHint(b int, v bool) { h.blocks[b].allBlack.Store(v) }
 // scan this certifies the block cannot change before the next full
 // collection.
 func (h *Heap) BlockQuiet(b int) bool {
-	h.mu.Lock()
-	defer h.mu.Unlock()
 	bm := &h.blocks[b]
-	return bm.class.Load() >= 0 && bm.freeCells == 0 && bm.cached.Load() == 0
+	class := bm.class.Load()
+	if class < 0 {
+		return false
+	}
+	s := h.shardFor(int(class))
+	s.lock()
+	defer s.unlock()
+	// Re-check under the lock: the block may have been retired and
+	// re-assigned to another class while we were acquiring.
+	if bm.class.Load() != class {
+		return false
+	}
+	return bm.freeCells == 0 && bm.cached.Load() == 0
 }
 
 // BlockClass reports the size-class of the block containing addr:

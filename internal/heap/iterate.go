@@ -1,7 +1,5 @@
 package heap
 
-import "sync/atomic"
-
 // ForEachObject calls fn for every currently allocated (non-blue) object
 // start address, in address order. The collector's sweep is built on it.
 // Objects allocated concurrently may or may not be visited; objects
@@ -88,40 +86,4 @@ func (h *Heap) AllocatedRegions(fn func(start, end Addr)) {
 			runStart = -1
 		}
 	}
-}
-
-// FreeBatch frees a batch of dead cells under a single lock acquisition.
-// Large objects in the batch are freed individually. It returns the total
-// bytes freed.
-func (h *Heap) FreeBatch(addrs []Addr) int {
-	total := 0
-	var larges []Addr
-	h.mu.Lock()
-	for _, addr := range addrs {
-		b := addr / BlockSize
-		bm := &h.blocks[b]
-		class := bm.class.Load()
-		if class == blockLargeHead {
-			larges = append(larges, addr)
-			continue
-		}
-		size := classSizes[class]
-		h.SetColor(addr, Blue)
-		atomic.StoreUint32(&h.mem[addr/WordBytes], bm.freeHead)
-		bm.freeHead = addr
-		bm.freeCells++
-		if !bm.inPartial {
-			h.partial[class] = append(h.partial[class], b)
-			bm.inPartial = true
-		}
-		total += size
-	}
-	n := int64(len(addrs) - len(larges))
-	h.mu.Unlock()
-	h.allocatedBytes.Add(-int64(total))
-	h.allocatedObjects.Add(-n)
-	for _, addr := range larges {
-		total += h.freeLarge(addr)
-	}
-	return total
 }

@@ -23,6 +23,14 @@ type Stats struct {
 	// ColorCounts indexes by Color (Blue..Black); Blue counts free
 	// cells in assigned blocks.
 	ColorCounts [5]int
+
+	// Alloc is the tiered allocator's counter snapshot (shard
+	// contention, refills, flushes, per-shard free/cached cells),
+	// taken at the same census. The shard freeCells/cached counters
+	// are the allocator's own accounting; the census FreeCells above
+	// is an independent color walk — at quiescence the walk equals
+	// Alloc.FreeCells + Alloc.CachedCells (cached cells are blue too).
+	Alloc AllocStats
 }
 
 // ClassStats is the census of one size class.
@@ -46,6 +54,7 @@ func (s Stats) Utilization() float64 {
 // Census walks the heap and returns its population snapshot.
 func (h *Heap) Census() Stats {
 	var s Stats
+	s.Alloc = h.AllocStats()
 	for c := 0; c < NumClasses; c++ {
 		s.PerClass[c].CellSize = classSizes[c]
 	}

@@ -83,6 +83,13 @@ type Cycle struct {
 	Steals        int   // work-stealing transfers during the trace
 	WorkerScanned []int // objects blackened, by trace worker
 	WorkerFreed   []int // objects freed, by sweep worker
+
+	// Tiered-allocator activity during the cycle (mutators keep
+	// allocating while the collector runs): cache refills served by
+	// the central shards, and lock acquisitions — shard plus page —
+	// that found the lock held.
+	AllocRefills   int64
+	AllocContended int64
 }
 
 // TraceEfficiency reports how evenly the trace work spread over the

@@ -54,6 +54,9 @@ import (
 //	          collector had been waiting when the report fired
 //	cycleabort a cycle abandoned at close (wedged handshake past the
 //	          grace period); K = the phase it was wedged in
+//	allocstats the tiered allocator's activity over one cycle (point
+//	          event at cycle end); N = central-shard cache refills,
+//	          M = contended lock acquisitions (shard + page)
 //	drops     events lost to ring overflow (emitted at Close); N = count
 type Event struct {
 	// Ev is the event kind (see the table above).

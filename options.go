@@ -52,6 +52,18 @@ func WithWorkers(n int) Option {
 	return func(c *Config) { c.Workers = n }
 }
 
+// WithAllocShards sets the number of central free-list shards of the
+// tiered allocator (per-mutator cache → per-class central shard → page
+// allocator). 0 — the default — gives every size class its own shard
+// and lock, so cache refills, flushes and sweep frees of different
+// classes never contend; 1 degenerates to a single central lock (the
+// pre-sharding behavior, useful for comparison). Values above the size
+// class count are clamped to it. Snapshot.Alloc reports the per-shard
+// contention counters.
+func WithAllocShards(n int) Option {
+	return func(c *Config) { c.AllocShards = n }
+}
+
 // WithOldAge sets the aging tenure threshold (GenerationalAging only):
 // the number of collections an object must survive before promotion.
 func WithOldAge(n int) Option {
