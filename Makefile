@@ -33,11 +33,14 @@ bench:
 	$(GO) test -run XXX -bench . -benchtime 1x ./...
 
 # bench-json sweeps the allocation path over mutator counts (1/2/4/8)
-# and shard counts (single lock vs per-class) and writes the
-# machine-readable result to BENCH_alloc.json, which also embeds the
-# pre-sharding global-lock baseline for before/after comparison.
+# and shard counts (single lock vs per-class) into BENCH_alloc.json,
+# then the write barrier over mutator counts × barrier modes × write
+# APIs into BENCH_barrier.json. Both files embed their pre-change
+# baselines (global-lock allocation; eager per-store barrier) for
+# before/after comparison, and the barrier sweep flags regressions.
 bench-json:
 	$(GO) run ./cmd/gcbench -experiment alloc -benchjson BENCH_alloc.json
+	$(GO) run ./cmd/gcbench -experiment barrier -barrierjson BENCH_barrier.json
 
 # chaos runs a short fixed-seed fault-injection campaign under the race
 # detector: every schedule (stalls, slow workers, transient OOM, the
@@ -48,16 +51,22 @@ chaos:
 	$(GO) run -race ./cmd/gcchaos -seed 1
 
 # trace-verify round-trips the observability pipeline end to end: run a
-# small traced workload, then require gcreport to parse the JSONL and
-# render the pause CDF and phase breakdown from it.
+# small traced workload under each barrier mode, then require gcreport
+# to parse the JSONL and render the pause CDF and phase breakdown from
+# it. The batched leg additionally requires "barrierflush" events in
+# the trace — the deferred barrier must be observable, not just fast.
 trace-verify:
 	@tmp=$$(mktemp -d) && rc=0; \
 	{ $(GO) run ./cmd/gctrace -profile Anagram -scale 0.05 -trace $$tmp/trace.jsonl >/dev/null 2>&1 \
 	  && $(GO) run ./cmd/gcreport $$tmp/trace.jsonl > $$tmp/report.txt \
 	  && grep -q 'Pause-time CDF' $$tmp/report.txt \
 	  && grep -q 'Cycle phase breakdown' $$tmp/report.txt \
-	  && echo "trace-verify: OK ($$(wc -l < $$tmp/trace.jsonl | tr -d ' ') events)"; } \
-	|| { rc=$$?; echo "trace-verify: FAILED"; cat $$tmp/report.txt 2>/dev/null; }; \
+	  && $(GO) run ./cmd/gctrace -profile Anagram -scale 0.05 -barrier batched -trace $$tmp/batched.jsonl >/dev/null 2>&1 \
+	  && grep -q '"barrierflush"' $$tmp/batched.jsonl \
+	  && $(GO) run ./cmd/gcreport $$tmp/batched.jsonl > $$tmp/batched.txt \
+	  && grep -q 'Pause-time CDF' $$tmp/batched.txt \
+	  && echo "trace-verify: OK ($$(wc -l < $$tmp/trace.jsonl | tr -d ' ') eager + $$(wc -l < $$tmp/batched.jsonl | tr -d ' ') batched events)"; } \
+	|| { rc=$$?; echo "trace-verify: FAILED"; cat $$tmp/report.txt $$tmp/batched.txt 2>/dev/null; }; \
 	rm -rf $$tmp; exit $$rc
 
 check: lint build test race chaos trace-verify

@@ -1,0 +1,89 @@
+package gengc
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestWithBarrierValidation(t *testing.T) {
+	if _, err := NewManual(WithBarrier(BarrierMode(9))); !errors.Is(err, ErrInvalidConfig) {
+		t.Errorf("invalid barrier mode: err = %v, want ErrInvalidConfig", err)
+	}
+	if _, err := NewManual(WithMode(NonGenerational), WithBarrier(BarrierBatched),
+		WithDisableColorToggle(true)); !errors.Is(err, ErrInvalidConfig) {
+		t.Errorf("batched + toggle-free: err = %v, want ErrInvalidConfig", err)
+	}
+	rt, err := NewManual(WithMode(Generational), WithBarrier(BarrierBatched))
+	if err != nil {
+		t.Fatalf("WithBarrier(BarrierBatched) rejected: %v", err)
+	}
+	if got := rt.Snapshot().Barrier.Mode; got != BarrierBatched {
+		t.Errorf("Snapshot().Barrier.Mode = %v, want batched", got)
+	}
+	rt.Close()
+}
+
+// TestWriteBatchAndSnapshotBarrier: WriteBatch stores land in the slots
+// and, under the batched barrier, the flush counters surface through
+// Snapshot.
+func TestWriteBatchAndSnapshotBarrier(t *testing.T) {
+	rt, err := New(WithMode(Generational), WithHeapBytes(8<<20),
+		WithBarrier(BarrierBatched))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	m := rt.NewMutator()
+	x := m.MustAlloc(4, 0)
+	m.PushRoot(x)
+	vals := make([]Ref, 4)
+	for i := range vals {
+		vals[i] = m.MustAlloc(0, 16)
+	}
+	m.WriteBatch(x, vals)
+	for i, want := range vals {
+		if got := m.Read(x, i); got != want {
+			t.Errorf("slot %d = %d, want %d", i, got, want)
+		}
+	}
+	m.Detach() // detach forces the final flush
+	b := rt.Snapshot().Barrier
+	if b.Flushes == 0 {
+		t.Errorf("Snapshot.Barrier.Flushes = 0 after batched stores")
+	}
+	if b.BufferedStores < int64(len(vals)) {
+		t.Errorf("Snapshot.Barrier.BufferedStores = %d, want >= %d", b.BufferedStores, len(vals))
+	}
+}
+
+// TestWriteBatchMatchesWrite: both write APIs leave the same slot
+// contents under the default (eager) barrier.
+func TestWriteBatchMatchesWrite(t *testing.T) {
+	rt, err := NewManual(WithMode(Generational), WithHeapBytes(4<<20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	m := rt.NewMutator()
+	defer m.Detach()
+	if got := rt.Snapshot().Barrier.Mode; got != BarrierEager {
+		t.Fatalf("default barrier = %v, want eager", got)
+	}
+	a := m.MustAlloc(3, 0)
+	b := m.MustAlloc(3, 0)
+	m.PushRoot(a)
+	m.PushRoot(b)
+	vals := []Ref{m.MustAlloc(0, 16), m.MustAlloc(0, 16), Nil}
+	m.WriteBatch(a, vals)
+	for i, v := range vals {
+		m.Write(b, i, v)
+	}
+	for i := range vals {
+		if m.Read(a, i) != m.Read(b, i) {
+			t.Errorf("slot %d: WriteBatch gave %d, Write gave %d", i, m.Read(a, i), m.Read(b, i))
+		}
+	}
+	if s := rt.Snapshot().Barrier; s.Flushes != 0 || s.BufferedStores != 0 {
+		t.Errorf("eager barrier advanced batched counters: %+v", s)
+	}
+}

@@ -38,6 +38,7 @@ const (
 	FaultSweepShard    = fault.SweepShard
 	FaultAlloc         = fault.Alloc
 	FaultSinkWrite     = fault.SinkWrite
+	FaultBarrierFlush  = fault.BarrierFlush
 )
 
 // The rule kinds.

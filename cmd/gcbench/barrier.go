@@ -1,0 +1,190 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"testing"
+	"time"
+
+	"gengc"
+	"gengc/internal/workload"
+)
+
+// preBatchingBaselineNs is the eager-barrier churn ns/op (Write loop,
+// generational mode) measured immediately before the batched write
+// barrier and the word-at-a-time card scan landed, on the reference
+// container (1 CPU, GOMAXPROCS=1). Kept in the report so every future
+// BENCH_barrier.json carries the before/after trajectory, exactly like
+// BENCH_alloc.json's pre-sharding baseline.
+var preBatchingBaselineNs = map[string]float64{
+	"1": 307.6,
+	"2": 376.2,
+	"4": 333.2,
+	"8": 311.3,
+}
+
+// barrierRun is one measured configuration of the barrier sweep.
+type barrierRun struct {
+	Mutators int     `json:"mutators"`
+	Barrier  string  `json:"barrier"`
+	API      string  `json:"api"`
+	NsPerOp  float64 `json:"ns_per_op"`
+	Iters    int     `json:"iterations"`
+}
+
+// barrierReport is the BENCH_barrier.json schema.
+type barrierReport struct {
+	Generated       string             `json:"generated"`
+	GoMaxProcs      int                `json:"gomaxprocs"`
+	NumCPU          int                `json:"numcpu"`
+	Workload        string             `json:"workload"`
+	BaselineNsPerOp map[string]float64 `json:"baseline_ns_per_op_eager_loop"`
+	Runs            []barrierRun       `json:"runs"`
+	Regressions     []string           `json:"regressions"`
+}
+
+// barrierMutCounts is the mutator sweep of the barrier experiment.
+var barrierMutCounts = []int{1, 2, 4, 8}
+
+// runBarrierChurn measures one (mutators, barrier, api) churn
+// configuration and returns the benchmark result. One op = one
+// allocation + Fanout(8) barriered pointer stores + one safe point.
+func runBarrierChurn(muts int, barrier gengc.BarrierMode, useBatch bool) testing.BenchmarkResult {
+	churn := workload.BarrierChurn{UseWriteBatch: useBatch}
+	return testing.Benchmark(func(b *testing.B) {
+		rt, err := gengc.New(
+			gengc.WithMode(gengc.Generational),
+			gengc.WithHeapBytes(64<<20),
+			gengc.WithYoungBytes(2<<20),
+			gengc.WithBarrier(barrier),
+			gengc.WithPauseHistograms(false),
+		)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer rt.Close()
+		per := b.N/muts + 1
+		b.ResetTimer()
+		var wg sync.WaitGroup
+		errs := make(chan error, muts)
+		for id := 0; id < muts; id++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				m := rt.NewMutator()
+				defer m.Detach()
+				if err := churn.RunThread(m, per); err != nil {
+					errs <- err
+				}
+			}()
+		}
+		wg.Wait()
+		close(errs)
+		for err := range errs {
+			b.Fatal(err)
+		}
+	})
+}
+
+// barrierExperiment sweeps the pointer-write-heavy churn workload over
+// mutator counts for each barrier mode and write API, prints the table,
+// and writes the machine-readable sweep (with the embedded pre-change
+// baseline and any regressions flagged) to jsonPath.
+func barrierExperiment(w io.Writer, jsonPath string) error {
+	// The host runtime's own collector would inject pauses into the
+	// measurement (workload.Run does the same for the profile runs).
+	prevGC := debug.SetGCPercent(-1)
+	defer func() {
+		debug.SetGCPercent(prevGC)
+		runtime.GC()
+	}()
+
+	rep := barrierReport{
+		Generated:  time.Now().UTC().Format(time.RFC3339),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Workload: "workload.BarrierChurn: 1 alloc + 8 pointer stores into an old base object " +
+			"+ 1 safepoint per op, generational mode, 64MB heap, 2MB young",
+		BaselineNsPerOp: preBatchingBaselineNs,
+	}
+	configs := []struct {
+		barrier  gengc.BarrierMode
+		useBatch bool
+	}{
+		{gengc.BarrierEager, false},
+		{gengc.BarrierEager, true},
+		{gengc.BarrierBatched, false},
+		{gengc.BarrierBatched, true},
+	}
+	fmt.Fprintf(w, "Write-barrier sweep (ns/op, BarrierChurn; baseline = pre-batching eager Write loop)\n")
+	fmt.Fprintf(w, "%-9s %-9s %-6s %12s %12s\n", "mutators", "barrier", "api", "ns/op", "baseline")
+	eagerLoop := map[int]float64{}
+	for _, muts := range barrierMutCounts {
+		for _, cfg := range configs {
+			api := "loop"
+			if cfg.useBatch {
+				api = "batch"
+			}
+			r := runBarrierChurn(muts, cfg.barrier, cfg.useBatch)
+			ns := float64(r.T.Nanoseconds()) / float64(r.N)
+			rep.Runs = append(rep.Runs, barrierRun{
+				Mutators: muts, Barrier: cfg.barrier.String(), API: api,
+				NsPerOp: ns, Iters: r.N,
+			})
+			if cfg.barrier == gengc.BarrierEager && !cfg.useBatch {
+				eagerLoop[muts] = ns
+			}
+			base := ""
+			if b, ok := preBatchingBaselineNs[fmt.Sprint(muts)]; ok && cfg.barrier == gengc.BarrierEager && !cfg.useBatch {
+				base = fmt.Sprintf("%12.1f", b)
+			}
+			fmt.Fprintf(w, "%-9d %-9s %-6s %12.1f %s\n", muts, cfg.barrier, api, ns, base)
+		}
+	}
+	// Flag — never fail on — configurations where the redesign lost
+	// ground: the batched Write loop slower than the eager one at the
+	// same mutator count by more than 5%, or today's eager loop slower
+	// than the embedded pre-change baseline by more than 10% (the
+	// eager path was supposed to be untouched; noise margin is wider
+	// because the baseline is from an earlier process).
+	for _, run := range rep.Runs {
+		if run.Barrier == "batched" && run.API == "loop" {
+			if e, ok := eagerLoop[run.Mutators]; ok && run.NsPerOp > e*1.05 {
+				rep.Regressions = append(rep.Regressions, fmt.Sprintf(
+					"batched/loop at %d mutators: %.1f ns/op vs eager %.1f (+%.1f%%)",
+					run.Mutators, run.NsPerOp, e, (run.NsPerOp/e-1)*100))
+			}
+		}
+		if run.Barrier == "eager" && run.API == "loop" {
+			if b, ok := preBatchingBaselineNs[fmt.Sprint(run.Mutators)]; ok && run.NsPerOp > b*1.10 {
+				rep.Regressions = append(rep.Regressions, fmt.Sprintf(
+					"eager/loop at %d mutators: %.1f ns/op vs pre-change baseline %.1f (+%.1f%%)",
+					run.Mutators, run.NsPerOp, b, (run.NsPerOp/b-1)*100))
+			}
+		}
+	}
+	fmt.Fprintln(w)
+	for _, reg := range rep.Regressions {
+		fmt.Fprintf(w, "regression: %s\n", reg)
+	}
+	f, err := os.Create(jsonPath)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "barrier sweep written to %s\n\n", jsonPath)
+	return nil
+}

@@ -29,16 +29,17 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "fig7|fig8|fig9|char|fig16|fig17|aging|fig20|cards|alloc|all")
-		benchJSON  = flag.String("benchjson", "BENCH_alloc.json", "output path of the -experiment alloc sweep")
-		scale      = flag.Float64("scale", 1.0, "workload length multiplier")
-		repeats    = flag.Int("repeats", 3, "runs to average per measurement")
-		seed       = flag.Int64("seed", 0, "workload random seed (0 = default)")
-		gcworkers  = flag.Int("gcworkers", 1, "parallel collector workers (1 = the paper's single collector thread)")
-		out        = flag.String("o", "", "also write results to this file")
-		traceOut   = flag.String("trace", "", "write a JSONL event trace of every run to this file (render with gcreport)")
-		csv        = flag.Bool("csv", false, "emit tables as CSV instead of aligned text")
-		quiet      = flag.Bool("q", false, "suppress per-run progress")
+		experiment  = flag.String("experiment", "all", "fig7|fig8|fig9|char|fig16|fig17|aging|fig20|cards|alloc|barrier|all")
+		benchJSON   = flag.String("benchjson", "BENCH_alloc.json", "output path of the -experiment alloc sweep")
+		barrierJSON = flag.String("barrierjson", "BENCH_barrier.json", "output path of the -experiment barrier sweep")
+		scale       = flag.Float64("scale", 1.0, "workload length multiplier")
+		repeats     = flag.Int("repeats", 3, "runs to average per measurement")
+		seed        = flag.Int64("seed", 0, "workload random seed (0 = default)")
+		gcworkers   = flag.Int("gcworkers", 1, "parallel collector workers (1 = the paper's single collector thread)")
+		out         = flag.String("o", "", "also write results to this file")
+		traceOut    = flag.String("trace", "", "write a JSONL event trace of every run to this file (render with gcreport)")
+		csv         = flag.Bool("csv", false, "emit tables as CSV instead of aligned text")
+		quiet       = flag.Bool("q", false, "suppress per-run progress")
 	)
 	flag.Parse()
 
@@ -72,7 +73,7 @@ func main() {
 	fmt.Fprintf(w, "gcbench: scale=%v repeats=%d gcworkers=%d GOMAXPROCS=%d NumCPU=%d\n\n",
 		*scale, *repeats, *gcworkers, runtime.GOMAXPROCS(0), runtime.NumCPU())
 	start := time.Now()
-	if err := run(w, opts, *experiment, *csv, *benchJSON); err != nil {
+	if err := run(w, opts, *experiment, *csv, *benchJSON, *barrierJSON); err != nil {
 		fmt.Fprintln(os.Stderr, "gcbench:", err)
 		os.Exit(1)
 	}
@@ -87,7 +88,7 @@ func main() {
 	fmt.Fprintf(w, "total experiment time: %v\n", time.Since(start).Round(time.Second))
 }
 
-func run(w io.Writer, opts bench.Options, experiment string, csv bool, benchJSON string) error {
+func run(w io.Writer, opts bench.Options, experiment string, csv bool, benchJSON, barrierJSON string) error {
 	render := func(t bench.Table) {
 		if csv {
 			t.FormatCSV(w)
@@ -148,6 +149,8 @@ func run(w io.Writer, opts bench.Options, experiment string, csv bool, benchJSON
 		return cards()
 	case "alloc":
 		return allocExperiment(w, benchJSON)
+	case "barrier":
+		return barrierExperiment(w, barrierJSON)
 	case "all":
 		for _, step := range []func() error{
 			func() error { return emit(opts.Fig7()) },

@@ -82,6 +82,28 @@ const (
 	GenerationalAging = gc.GenerationalAging
 )
 
+// BarrierMode selects the write-barrier implementation (see
+// WithBarrier): eager per-store shading and card marking, or
+// per-mutator buffers drained at safe points.
+type BarrierMode = gc.BarrierMode
+
+const (
+	// BarrierEager is the paper's write barrier: every pointer store
+	// shades and card-marks immediately. The default.
+	BarrierEager = gc.BarrierEager
+	// BarrierBatched defers the barrier's shared-memory work into
+	// per-mutator buffers flushed at safe points, full buffers and
+	// detach. Semantically equivalent (see DESIGN.md, "Barrier
+	// modes"); faster on pointer-write-heavy workloads.
+	BarrierBatched = gc.BarrierBatched
+)
+
+// BarrierStats is the write barrier's counter snapshot (see
+// Snapshot.Barrier): buffer flushes, stores that went through the
+// deferred path, and card entries elided by same-card deduplication.
+// The counters advance only under BarrierBatched.
+type BarrierStats = gc.BarrierStats
+
 // Config parameterizes a Runtime; zero fields assume the paper's
 // defaults: a 32 MB heap, a 4 MB young generation, 16-byte cards
 // ("object marking"), tenure threshold 4 (in the paper's age counting),
@@ -236,6 +258,11 @@ type Snapshot struct {
 	// cells, with a per-shard breakdown (see WithAllocShards).
 	Alloc AllocStats
 
+	// Barrier is the write barrier's counter snapshot: the configured
+	// mode plus — under BarrierBatched — buffer flushes, buffered
+	// stores and same-card dedup hits (see WithBarrier).
+	Barrier BarrierStats
+
 	// Fleet aggregates every pause ever recorded (Mutator == -1);
 	// Mutators holds one entry per currently attached mutator. Both are
 	// zero-valued when pause accounting is off (WithPauseHistograms).
@@ -257,6 +284,7 @@ func (r *Runtime) Snapshot() Snapshot {
 		TraceDrops:    r.c.TraceDrops(),
 		TraceDegraded: r.c.TraceDegraded(),
 		Alloc:         r.c.H.AllocStats(),
+		Barrier:       r.c.BarrierStats(),
 		Fleet:         fleet,
 		Mutators:      per,
 	}
@@ -339,7 +367,7 @@ func (m *Mutator) AllocCtx(ctx context.Context, slots, size int) (Ref, error) {
 // recover site can match it with errors.As and reach ErrOutOfMemory
 // (or ErrClosed) through its chain.
 func (m *Mutator) MustAlloc(slots, size int) Ref {
-	r, err := m.m.Alloc(slots, size)
+	r, err := m.Alloc(slots, size)
 	if err != nil {
 		panic(&OOMPanic{Err: err})
 	}
@@ -349,6 +377,15 @@ func (m *Mutator) MustAlloc(slots, size int) Ref {
 // Write stores pointer y into slot i of object x through the write
 // barrier (the update routine of Figures 1 and 4).
 func (m *Mutator) Write(x Ref, i int, y Ref) { m.m.Update(x, i, y) }
+
+// WriteBatch stores vals into slots 0..len(vals)-1 of object x through
+// the write barrier, with the per-object bookkeeping (phase sampling,
+// the card mark or remembered-set record) done once for the whole batch
+// rather than per slot. It is equivalent to calling Write(x, j,
+// vals[j]) for each j at a single program point; use it for bulk object
+// initialization and dense slot rewrites. Stores that scatter across
+// objects or slots gain nothing — keep those on Write.
+func (m *Mutator) WriteBatch(x Ref, vals []Ref) { m.m.UpdateBatch(x, vals) }
 
 // Read loads pointer slot i of object x (no read barrier, per DLG).
 func (m *Mutator) Read(x Ref, i int) Ref { return m.m.Read(x, i) }

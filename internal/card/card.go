@@ -9,11 +9,15 @@
 //
 // The paper keeps a designated byte per card and relies on hardware
 // per-byte store atomicity. Go does not expose that, so the table packs
-// one bit per card into 32-bit words manipulated with atomic or/and —
+// one bit per card into 64-bit words manipulated with atomic or/and —
 // a stronger primitive, which keeps the delicate clear/check/re-set
-// protocol of §7.2 intact while letting the collector skip 32 clean
+// protocol of §7.2 intact while letting the collector skip 64 clean
 // cards with a single load (the moral equivalent of the paper's tight
-// byte-table scan).
+// byte-table scan). The scan path goes further: DrainDirtyIn
+// fetch-and-clears a whole word of dirty bits in one atomic and-not —
+// the §7.2 "clear" step for up to 64 cards at once — and walks the
+// snapshot with trailing-zeros, so a scan's cost tracks the number of
+// dirty cards rather than the size of the table.
 package card
 
 import (
@@ -35,7 +39,7 @@ type Table struct {
 	cardSize int
 	shift    uint // log2(cardSize)
 	nCards   int
-	words    []uint32 // one dirty bit per card
+	words    []uint64 // one dirty bit per card
 }
 
 // NewTable builds a card table for heapBytes of heap with the given card
@@ -49,7 +53,7 @@ func NewTable(heapBytes, cardSize int) (*Table, error) {
 		shift++
 	}
 	n := (heapBytes + cardSize - 1) / cardSize
-	return &Table{cardSize: cardSize, shift: shift, nCards: n, words: make([]uint32, (n+31)/32)}, nil
+	return &Table{cardSize: cardSize, shift: shift, nCards: n, words: make([]uint64, (n+63)/64)}, nil
 }
 
 // Size returns the card size in bytes.
@@ -71,50 +75,51 @@ func (t *Table) Bounds(ci int) (start, end uint32) {
 // after the slot store (the order the §7.2 race argument depends on).
 func (t *Table) Mark(addr uint32) {
 	ci := addr >> t.shift
-	atomic.OrUint32(&t.words[ci>>5], 1<<(ci&31))
+	atomic.OrUint64(&t.words[ci>>6], uint64(1)<<(ci&63))
 }
 
 // IsDirty reports whether card ci is marked.
 func (t *Table) IsDirty(ci int) bool {
-	return atomic.LoadUint32(&t.words[ci>>5])&(1<<(uint(ci)&31)) != 0
+	return atomic.LoadUint64(&t.words[ci>>6])&(uint64(1)<<(uint(ci)&63)) != 0
 }
 
 // Clear resets card ci. In the aging collector this is step 1 of the
 // three-step clear/check/re-set sequence.
 func (t *Table) Clear(ci int) {
-	atomic.AndUint32(&t.words[ci>>5], ^uint32(1<<(uint(ci)&31)))
+	atomic.AndUint64(&t.words[ci>>6], ^(uint64(1) << (uint(ci) & 63)))
 }
 
 // MarkIndex re-dirties card ci directly (step 3 of the §7.2 sequence,
 // when the check of step 2 found a surviving inter-generational
 // pointer).
 func (t *Table) MarkIndex(ci int) {
-	atomic.OrUint32(&t.words[ci>>5], 1<<(uint(ci)&31))
+	atomic.OrUint64(&t.words[ci>>6], uint64(1)<<(uint(ci)&63))
 }
 
 // ClearAll resets every card; used by InitFullCollection in the simple
 // algorithm (the aging variant deliberately keeps its marks, §6).
 func (t *Table) ClearAll() {
 	for i := range t.words {
-		atomic.StoreUint32(&t.words[i], 0)
+		atomic.StoreUint64(&t.words[i], 0)
 	}
 }
 
 // ForEachDirtyIn calls fn for every dirty card in [lo, hi], scanning a
-// word (32 cards) at a time so that clean stretches cost one load each.
+// word (64 cards) at a time so that clean stretches cost one load each.
 // Cards marked concurrently with the scan may or may not be visited —
-// the §7.2 protocol tolerates both outcomes.
+// the §7.2 protocol tolerates both outcomes. The marks are left in
+// place; the collector's scan path uses DrainDirtyIn instead.
 func (t *Table) ForEachDirtyIn(lo, hi int, fn func(ci int)) {
 	if hi >= t.nCards {
 		hi = t.nCards - 1
 	}
 	for ci := lo; ci <= hi; {
-		w := atomic.LoadUint32(&t.words[ci>>5])
+		w := atomic.LoadUint64(&t.words[ci>>6])
 		// Mask off bits below ci within its word.
-		w &= ^uint32(0) << (uint(ci) & 31)
-		base := ci &^ 31
+		w &= ^uint64(0) << (uint(ci) & 63)
+		base := ci &^ 63
 		for w != 0 {
-			b := bits.TrailingZeros32(w)
+			b := bits.TrailingZeros64(w)
 			idx := base + b
 			if idx > hi {
 				return
@@ -122,20 +127,65 @@ func (t *Table) ForEachDirtyIn(lo, hi int, fn func(ci int)) {
 			fn(idx)
 			w &= w - 1
 		}
-		ci = base + 32
+		ci = base + 64
 	}
 }
 
-// CountDirty returns the number of dirty cards in [from, to).
+// DrainDirtyIn atomically clears the dirty bits in [lo, hi] one word at
+// a time and calls fn for every card that was dirty. This fuses the
+// per-card "clear" of §7.2 step 1 into one fetch-and-clear per 64
+// cards: the and-not returns the word's prior value, so each dirty bit
+// is observed by exactly one drainer, and a mutator's concurrent
+// re-mark (§7.2 step 3, or a plain Mark racing the drain) lands either
+// in the snapshot this call returns or in the table for the next scan —
+// never lost. Clean words are detected with a plain load first, so the
+// common case (a mostly-clean table) does no read-modify-write at all.
+//
+// fn runs after the card's bit is already cleared, which is exactly the
+// clear-before-scan order the §7.2 race argument requires.
+func (t *Table) DrainDirtyIn(lo, hi int, fn func(ci int)) {
+	if hi >= t.nCards {
+		hi = t.nCards - 1
+	}
+	for ci := lo; ci <= hi; {
+		base := ci &^ 63
+		wi := ci >> 6
+		// Range mask: bits for cards [max(lo, base), min(hi, base+63)].
+		mask := ^uint64(0) << (uint(ci) & 63)
+		if hi < base+63 {
+			mask &= ^uint64(0) >> (63 - uint(hi-base))
+		}
+		var dirty uint64
+		if atomic.LoadUint64(&t.words[wi])&mask != 0 {
+			dirty = atomic.AndUint64(&t.words[wi], ^mask) & mask
+		}
+		for dirty != 0 {
+			fn(base + bits.TrailingZeros64(dirty))
+			dirty &= dirty - 1
+		}
+		ci = base + 64
+	}
+}
+
+// CountDirty returns the number of dirty cards in [from, to), a
+// popcount per word.
 func (t *Table) CountDirty(from, to int) int {
 	if to > t.nCards {
 		to = t.nCards
 	}
+	if from >= to {
+		return 0
+	}
+	hi := to - 1
 	n := 0
-	for i := from; i < to; i++ {
-		if t.IsDirty(i) {
-			n++
+	for ci := from; ci <= hi; {
+		base := ci &^ 63
+		mask := ^uint64(0) << (uint(ci) & 63)
+		if hi < base+63 {
+			mask &= ^uint64(0) >> (63 - uint(hi-base))
 		}
+		n += bits.OnesCount64(atomic.LoadUint64(&t.words[ci>>6]) & mask)
+		ci = base + 64
 	}
 	return n
 }

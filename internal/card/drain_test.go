@@ -1,0 +1,151 @@
+package card
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestDrainDirtyIn(t *testing.T) {
+	tab, err := NewTable(1<<20, 16) // 65536 cards
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirty := []int{0, 1, 63, 64, 65, 500, 1000, 1001}
+	for _, ci := range dirty {
+		tab.MarkIndex(ci)
+	}
+	var got []int
+	tab.DrainDirtyIn(0, 1001, func(ci int) { got = append(got, ci) })
+	if len(got) != len(dirty) {
+		t.Fatalf("drained %v, want %v", got, dirty)
+	}
+	for i, ci := range dirty {
+		if got[i] != ci {
+			t.Fatalf("drained %v, want %v", got, dirty)
+		}
+	}
+	// The drain cleared every visited card.
+	if n := tab.CountDirty(0, tab.NumCards()); n != 0 {
+		t.Fatalf("%d cards still dirty after drain", n)
+	}
+	// A second drain finds nothing.
+	tab.DrainDirtyIn(0, tab.NumCards()-1, func(ci int) {
+		t.Fatalf("card %d drained twice", ci)
+	})
+}
+
+// TestDrainDirtyInWindow: cards outside [lo, hi] keep their marks even
+// when they share a word with drained cards.
+func TestDrainDirtyInWindow(t *testing.T) {
+	tab, err := NewTable(1<<20, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ci := range []int{30, 33, 63, 64, 100, 130} {
+		tab.MarkIndex(ci)
+	}
+	var got []int
+	tab.DrainDirtyIn(33, 100, func(ci int) { got = append(got, ci) })
+	want := []int{33, 63, 64, 100}
+	if len(got) != len(want) {
+		t.Fatalf("drained %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("drained %v, want %v", got, want)
+		}
+	}
+	for _, ci := range []int{30, 130} {
+		if !tab.IsDirty(ci) {
+			t.Errorf("card %d outside the window lost its mark", ci)
+		}
+	}
+	for _, ci := range want {
+		if tab.IsDirty(ci) {
+			t.Errorf("card %d inside the window kept its mark", ci)
+		}
+	}
+}
+
+// TestDrainDirtyInProperty cross-checks the word-at-a-time drain
+// against a per-card reference on random mark sets and windows.
+func TestDrainDirtyInProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 200; trial++ {
+		tab, err := NewTable(64<<10, 16) // 4096 cards
+		if err != nil {
+			t.Fatal(err)
+		}
+		marked := map[int]bool{}
+		for i := 0; i < 50; i++ {
+			ci := rng.Intn(tab.NumCards())
+			tab.MarkIndex(ci)
+			marked[ci] = true
+		}
+		lo := rng.Intn(tab.NumCards())
+		hi := lo + rng.Intn(tab.NumCards()-lo)
+		var want []int
+		for ci := lo; ci <= hi; ci++ {
+			if marked[ci] {
+				want = append(want, ci)
+			}
+		}
+		var got []int
+		tab.DrainDirtyIn(lo, hi, func(ci int) { got = append(got, ci) })
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: drained %v, want %v", trial, got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: drained %v, want %v", trial, got, want)
+			}
+		}
+		// Everything inside the window is clear, everything outside
+		// kept its mark.
+		for ci := range marked {
+			inWindow := ci >= lo && ci <= hi
+			if tab.IsDirty(ci) == inWindow {
+				t.Fatalf("trial %d: card %d dirty=%v, inWindow=%v",
+					trial, ci, tab.IsDirty(ci), inWindow)
+			}
+		}
+	}
+}
+
+// TestDrainRaceStress: concurrent markers against a draining collector;
+// every mark must be observed by some drain or remain in the table (no
+// lost marks).
+func TestDrainRaceStress(t *testing.T) {
+	tab, err := NewTable(64<<10, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const marks = 20000
+	done := make(chan int)
+	go func() {
+		seen := 0
+		for i := 0; i < 400; i++ {
+			tab.DrainDirtyIn(0, tab.NumCards()-1, func(ci int) { seen++ })
+		}
+		done <- seen
+	}()
+	rng := rand.New(rand.NewSource(9))
+	total := map[int]int{}
+	for i := 0; i < marks; i++ {
+		ci := rng.Intn(tab.NumCards())
+		tab.MarkIndex(ci)
+		total[ci]++
+	}
+	seen := <-done
+	// Final drain: whatever the concurrent drains missed must still be
+	// in the table.
+	rest := 0
+	tab.DrainDirtyIn(0, tab.NumCards()-1, func(ci int) { rest++ })
+	if seen+rest < len(total) {
+		t.Fatalf("drains saw %d+%d cards, but %d distinct cards were marked",
+			seen, rest, len(total))
+	}
+	if n := tab.CountDirty(0, tab.NumCards()); n != 0 {
+		t.Fatalf("%d cards dirty after final drain", n)
+	}
+}

@@ -2,7 +2,8 @@
 // the collector's chaos testing. Named injection points are threaded
 // through the runtime's coordination seams (handshake posting and
 // acknowledgement, safe-point cooperation, trace-worker stealing, sweep
-// shards, allocation, trace-sink writes); an armed Injector decides at
+// shards, allocation, trace-sink writes, batched-barrier buffer
+// flushes); an armed Injector decides at
 // each hit whether to delay the caller, drop the operation once, or
 // fail it, with a configured probability drawn from a reproducible
 // per-point PRNG stream.
@@ -68,6 +69,14 @@ const (
 	// counter advances), Delay a slow sink.
 	SinkWrite
 
+	// BarrierFlush fires when a batched-barrier mutator drains its
+	// deferred shade/card buffers — at a safe-point response, on a
+	// full buffer, or at detach (delay only: a dropped flush followed
+	// by an acknowledgement would un-publish gray objects the trace
+	// termination check depends on, so Drop/Fail rules are coerced to
+	// their Delay).
+	BarrierFlush
+
 	// NumPoints is the number of injection points.
 	NumPoints
 )
@@ -88,6 +97,8 @@ func (p Point) String() string {
 		return "alloc"
 	case SinkWrite:
 		return "sink-write"
+	case BarrierFlush:
+		return "barrier-flush"
 	}
 	return fmt.Sprintf("point(%d)", int(p))
 }

@@ -167,6 +167,7 @@ func TestPointAndKindStrings(t *testing.T) {
 		SweepShard:    "sweep-shard",
 		Alloc:         "alloc",
 		SinkWrite:     "sink-write",
+		BarrierFlush:  "barrier-flush",
 	}
 	if len(want) != int(NumPoints) {
 		t.Fatalf("test covers %d points, NumPoints = %d", len(want), NumPoints)

@@ -2,15 +2,20 @@ package gc
 
 import "gengc/internal/heap"
 
-// forEachDirtyAllocatedCard visits every dirty card overlapping a block
-// assigned to some size class, scanning the card table a word at a time.
+// drainDirtyAllocatedCards visits every dirty card overlapping a block
+// assigned to some size class, draining the card table a word at a
+// time: each 64-card word's dirty bits are fetched and cleared with one
+// atomic and-not, and fn runs with the card already clear — the §7.2
+// step-1 clear, batched. Callers that need the mark back (step 3)
+// re-set it with MarkIndex.
+//
 // Dirty marks can only exist where objects exist (cards are marked with
 // an object's address), so restricting the scan to allocated regions is
 // sound and keeps the §7.1 window — during which mutators promote
 // freshly created objects — short. Regions are block-aligned and cards
 // never exceed a block, so regions cover whole cards. Returns the number
 // of cards scanned (the Figure 22 "allocated cards" denominator).
-func (c *Collector) forEachDirtyAllocatedCard(fn func(ci int)) int {
+func (c *Collector) drainDirtyAllocatedCards(fn func(ci int)) int {
 	n := 0
 	pages := c.H.Pages != nil
 	c.H.AllocatedRegions(func(start, end heap.Addr) {
@@ -26,7 +31,7 @@ func (c *Collector) forEachDirtyAllocatedCard(fn func(ci int)) int {
 			}
 			c.H.Pages.TouchCardByte(hi)
 		}
-		c.Cards.ForEachDirtyIn(lo, hi, fn)
+		c.Cards.DrainDirtyIn(lo, hi, fn)
 	})
 	return n
 }
@@ -42,9 +47,9 @@ func (c *Collector) forEachDirtyAllocatedCard(fn func(ci int)) int {
 // the color toggle, so no yellow objects exist yet (§7.1's required
 // ordering).
 func (c *Collector) clearCardsSimple() {
-	c.cyc.AllocatedCards = c.forEachDirtyAllocatedCard(func(ci int) {
+	c.cyc.AllocatedCards = c.drainDirtyAllocatedCards(func(ci int) {
+		// The drain already cleared the mark (whole words at a time).
 		c.cyc.DirtyCards++
-		c.Cards.Clear(ci)
 		start, end := c.Cards.Bounds(ci)
 		c.H.ForEachObjectInRange(start, end, func(addr heap.Addr) {
 			c.H.Pages.TouchHeap(addr, 1)
@@ -83,9 +88,10 @@ func (c *Collector) clearCardsSimple() {
 // objects on dirty cards.)
 func (c *Collector) clearCardsAging() {
 	oldest := c.oldestAge()
-	c.cyc.AllocatedCards = c.forEachDirtyAllocatedCard(func(ci int) {
+	c.cyc.AllocatedCards = c.drainDirtyAllocatedCards(func(ci int) {
 		c.cyc.DirtyCards++
-		c.Cards.Clear(ci) // step 1
+		// Step 1 (clear) already happened: the drain fetched and
+		// cleared this card's bit along with the rest of its word.
 		remark := false
 		start, end := c.Cards.Bounds(ci)
 		c.H.ForEachObjectInRange(start, end, func(addr heap.Addr) {

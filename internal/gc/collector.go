@@ -165,6 +165,12 @@ type Collector struct {
 	stalls        atomic.Int64
 	abortedCycles atomic.Int64
 
+	// Batched-barrier accounting, published by mutator flushes
+	// (barrier.go); all stay zero under the eager barrier.
+	barrierFlushes atomic.Int64
+	barrierStores  atomic.Int64
+	barrierDedup   atomic.Int64
+
 	// onStall is the watchdog's observer (set via OnStall).
 	onStall struct {
 		sync.Mutex

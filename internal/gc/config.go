@@ -76,6 +76,38 @@ func (m Mode) String() string {
 // a card table).
 func (m Mode) IsGenerational() bool { return m != NonGenerational }
 
+// BarrierMode selects how the write barrier publishes its work to the
+// collector.
+type BarrierMode int
+
+const (
+	// BarrierEager is the paper's barrier, and the default: every
+	// pointer store shades its operands immediately (a CAS plus a
+	// locked gray-buffer append per shade) and dirties its card with
+	// an atomic or as it happens.
+	BarrierEager BarrierMode = iota
+
+	// BarrierBatched defers the barrier's shared-memory work: stores
+	// append the values to shade and the cards to mark into private
+	// per-mutator buffers with plain stores, and the buffers drain at
+	// the mutator's next safe-point response (or when full, or at
+	// Detach) — always before the status/acknowledgement store that
+	// publishes the response, which is the ordering the handshake and
+	// trace-termination protocols already rely on. See DESIGN.md,
+	// "Barrier modes".
+	BarrierBatched
+)
+
+func (b BarrierMode) String() string {
+	switch b {
+	case BarrierEager:
+		return "eager"
+	case BarrierBatched:
+		return "batched"
+	}
+	return "invalid"
+}
+
 // Config parameterizes a collector. The zero value is not usable; call
 // (*Config).withDefaults or use the gengc package, which fills in the
 // paper's defaults (32 MB heap, 4 MB young generation, 16-byte cards,
@@ -142,6 +174,13 @@ type Config struct {
 	// handshake protocol are unaffected (see DESIGN.md, "Parallel
 	// trace & sweep").
 	Workers int
+
+	// Barrier selects the write-barrier publication strategy:
+	// BarrierEager (the default, the paper's per-store protocol) or
+	// BarrierBatched (per-mutator buffers drained at safe points).
+	// Batched mode requires the color toggle, so it cannot be combined
+	// with DisableColorToggle.
+	Barrier BarrierMode
 
 	// AllocShards is the number of central free-list shards of the
 	// tiered allocator (per-mutator cache → class shard → page
@@ -308,6 +347,12 @@ func (c Config) validate() error {
 	}
 	if c.AllocRetries < 1 || c.AllocRetries > 1000 {
 		return fmt.Errorf("gc: %w: allocation retry bound %d out of [1,1000]", ErrInvalidConfig, c.AllocRetries)
+	}
+	if c.Barrier < BarrierEager || c.Barrier > BarrierBatched {
+		return fmt.Errorf("gc: %w: invalid barrier mode %d", ErrInvalidConfig, int(c.Barrier))
+	}
+	if c.Barrier == BarrierBatched && c.DisableColorToggle {
+		return fmt.Errorf("gc: %w: the batched barrier requires the color toggle", ErrInvalidConfig)
 	}
 	if c.UseRememberedSet && c.Mode != Generational {
 		return fmt.Errorf("gc: %w: remembered set requires the simple generational mode", ErrInvalidConfig)

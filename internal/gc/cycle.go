@@ -36,6 +36,7 @@ func (c *Collector) Cycle(full bool) {
 	}
 	c.H.Pages.Reset()
 	allocBase := c.H.AllocStats()
+	barrierBase := c.barrierFlushes.Load()
 
 	// --- clear ---
 	toggleFree := c.cfg.DisableColorToggle
@@ -153,6 +154,7 @@ func (c *Collector) Cycle(full bool) {
 	c.cyc.AllocRefills = allocNow.Refills - allocBase.Refills
 	c.cyc.AllocContended = (allocNow.ShardContended + allocNow.PageContended) -
 		(allocBase.ShardContended + allocBase.PageContended)
+	c.cyc.BarrierFlushes = c.barrierFlushes.Load() - barrierBase
 	c.emit("allocstats", start, "", c.cyc.AllocRefills, c.cyc.AllocContended)
 	c.emit("cycle", start, kind.String(),
 		int64(c.cyc.ObjectsScanned), int64(c.cyc.ObjectsFreed))

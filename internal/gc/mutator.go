@@ -48,6 +48,11 @@ type Mutator struct {
 		buf []heap.Addr
 	}
 
+	// bb is the deferred-barrier buffer (Config.Barrier ==
+	// BarrierBatched only; nil selects the eager barrier). See
+	// barrier.go for the machinery and the safety argument.
+	bb *barrierBuf
+
 	// ack mirrors the collector's ackEpoch when the mutator passes a
 	// safe point.
 	ack atomic.Int64
@@ -64,6 +69,9 @@ type Mutator struct {
 // NewMutator attaches a new mutator thread to the collector.
 func (c *Collector) NewMutator() *Mutator {
 	m := &Mutator{c: c, roots: make([]heap.Addr, 0, 64)}
+	if c.cfg.Barrier == BarrierBatched {
+		m.bb = newBarrierBuf()
+	}
 	if !c.cfg.DisablePauseHistograms {
 		m.pauses = &metrics.Histogram{}
 	}
@@ -90,6 +98,10 @@ func (m *Mutator) Detach() {
 	if m.detached.Swap(true) {
 		return
 	}
+	// Publish any deferred barrier work before the gray hand-off below:
+	// the flush may append to m.gray.buf and mark cards, and after
+	// Detach returns nobody would ever drain the buffer.
+	m.flushBarrier("detach")
 	m.c.H.Flush(&m.cache)
 	m.c.muts.Lock()
 	list := m.c.muts.list
@@ -158,6 +170,13 @@ func (m *Mutator) Cooperate() {
 		}
 	}
 	start := m.pauseStart()
+	// Drain the deferred barrier before responding: the status and ack
+	// stores below publish the response to the collector, and the
+	// sliding-views argument (barrier.go) needs every buffered shade
+	// and card mark visible no later than the response itself. The
+	// flush also runs under the *old* status, so buffered shades see
+	// the same phase they were created under.
+	m.flushBarrier("handshake")
 	cause := "ack"
 	if statusChanged {
 		if Status(m.status.Load()) == StatusSync2 {
@@ -274,6 +293,10 @@ func (m *Mutator) shade(x heap.Addr, from heap.Color) {
 // slot i of object x with the bookkeeping the current collector mode and
 // phase require.
 func (m *Mutator) Update(x heap.Addr, i int, y heap.Addr) {
+	if m.bb != nil {
+		m.updateBatched(x, i, y)
+		return
+	}
 	c := m.c
 	switch c.cfg.Mode {
 	case GenerationalAging:
@@ -312,6 +335,72 @@ func (m *Mutator) Update(x heap.Addr, i int, y heap.Addr) {
 	}
 }
 
+// UpdateBatch stores vals into slots 0..len(vals)-1 of object x — one
+// Update per slot, but with the per-object bookkeeping done once: the
+// handshake phase is sampled a single time (sound: only this goroutine
+// changes m.status, at safe points, and no safe point occurs inside the
+// batch), and the card mark / remembered-set record for x is issued
+// once instead of len(vals) times (all slots of x share x's card).
+//
+// Equivalence caveat: the stores must all target the same object and a
+// dense slot prefix. Writes that scatter across objects — like the
+// random-slot mutation phases of internal/workload — get no benefit
+// and must keep using Update.
+func (m *Mutator) UpdateBatch(x heap.Addr, vals []heap.Addr) {
+	if len(vals) == 0 {
+		return
+	}
+	c := m.c
+	aging := c.cfg.Mode == GenerationalAging
+	sync := Status(m.status.Load()) != StatusAsync
+	tracing := c.tracing.Load()
+	shadeOld := sync || tracing
+	if b := m.bb; b != nil {
+		for j, y := range vals {
+			if shadeOld {
+				b.bufferShade(c.H.LoadSlot(x, j))
+			}
+			if sync {
+				b.bufferShade(y)
+			}
+			c.H.StoreSlot(x, j, y)
+		}
+		if aging || (c.cfg.Mode == Generational && !sync) {
+			m.bufferCard(x)
+		}
+		b.stores += int64(len(vals))
+		if len(b.shade)+len(b.cards) >= barrierFlushThreshold {
+			m.flushBarrier("full")
+		}
+		return
+	}
+	for j, y := range vals {
+		if shadeOld {
+			if aging {
+				m.markGrayAging(c.H.LoadSlot(x, j))
+			} else {
+				m.markGray(c.H.LoadSlot(x, j))
+			}
+		}
+		if sync {
+			if aging {
+				m.markGrayAging(y)
+			} else {
+				m.markGray(y)
+			}
+		}
+		c.H.StoreSlot(x, j, y)
+	}
+	switch c.cfg.Mode {
+	case GenerationalAging:
+		c.Cards.Mark(x)
+	case Generational:
+		if !sync {
+			m.recordInterGen(x)
+		}
+	}
+}
+
 // recordInterGen notes that object x may now hold an inter-generational
 // pointer, via the configured mechanism.
 func (m *Mutator) recordInterGen(x heap.Addr) {
@@ -338,7 +427,7 @@ func (m *Mutator) Read(x heap.Addr, i int) heap.Addr {
 // past it the error wraps heap.ErrOutOfMemory. On a stopped collector
 // the error wraps ErrClosed.
 func (m *Mutator) Alloc(slots, size int) (heap.Addr, error) {
-	return m.alloc(nil, slots, size)
+	return m.alloc(context.Background(), slots, size)
 }
 
 // AllocCtx is Alloc bounded by a context: the OOM wait for a full
@@ -350,13 +439,13 @@ func (m *Mutator) AllocCtx(ctx context.Context, slots, size int) (heap.Addr, err
 	return m.alloc(ctx, slots, size)
 }
 
-// alloc is the shared allocation path; ctx may be nil (Alloc).
+// alloc is the shared allocation path; Alloc passes
+// context.Background() (its Err is always nil, so the uncancellable
+// path costs one interface call per attempt and nothing else).
 func (m *Mutator) alloc(ctx context.Context, slots, size int) (heap.Addr, error) {
 	for attempt := 0; ; attempt++ {
-		if ctx != nil {
-			if err := ctx.Err(); err != nil {
-				return 0, fmt.Errorf("gc: mutator %d: allocation: %w", m.id, err)
-			}
+		if err := ctx.Err(); err != nil {
+			return 0, fmt.Errorf("gc: mutator %d: allocation: %w", m.id, err)
 		}
 		if m.c.closed.Load() {
 			return 0, fmt.Errorf("gc: mutator %d: allocation: %w", m.id, ErrClosed)
@@ -428,11 +517,9 @@ func (m *Mutator) waitForFullCollection(ctx context.Context, attempt int) error 
 		if m.c.closed.Load() {
 			return fmt.Errorf("gc: mutator %d: full collection wait: %w", m.id, ErrClosed)
 		}
-		if ctx != nil {
-			if err := ctx.Err(); err != nil {
-				return fmt.Errorf("gc: mutator %d: full collection wait: %w (%w)",
-					m.id, ErrStalled, err)
-			}
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("gc: mutator %d: full collection wait: %w (%w)",
+				m.id, ErrStalled, err)
 		}
 		m.Cooperate()
 		time.Sleep(sleep)

@@ -90,6 +90,10 @@ type Cycle struct {
 	// that found the lock held.
 	AllocRefills   int64
 	AllocContended int64
+
+	// BarrierFlushes counts batched-barrier buffer drains performed by
+	// mutators while the cycle ran; zero under the eager barrier.
+	BarrierFlushes int64
 }
 
 // TraceEfficiency reports how evenly the trace work spread over the

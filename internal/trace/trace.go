@@ -57,6 +57,9 @@ import (
 //	allocstats the tiered allocator's activity over one cycle (point
 //	          event at cycle end); N = central-shard cache refills,
 //	          M = contended lock acquisitions (shard + page)
+//	barrierflush one batched-barrier buffer drain; W = mutator id,
+//	          N = deferred shades drained, M = deferred card entries
+//	          drained, K = "handshake"|"full"|"detach" (what forced it)
 //	drops     events lost to ring overflow (emitted at Close); N = count
 type Event struct {
 	// Ev is the event kind (see the table above).

@@ -1,0 +1,101 @@
+package workload
+
+import "gengc"
+
+// BarrierChurn parameterizes the pointer-write-heavy churn loop behind
+// the write-barrier benchmark (cmd/gcbench -experiment barrier) and the
+// barrier-mode equivalence tests. Unlike Profile — which calibrates
+// allocation/death rates against the paper's benchmarks — this loop is
+// deliberately store-dominated: every operation allocates one small
+// object and then fans Fanout pointer stores into a long-lived base
+// object, so the per-store barrier cost (shading, card marking) is the
+// measured quantity rather than allocation or tracing.
+//
+// The loop is deterministic (no PRNG): two runs with the same
+// parameters perform the identical sequence of allocations and stores,
+// which is what lets the eager-vs-batched equivalence test compare live
+// sets across barrier modes.
+type BarrierChurn struct {
+	// BaseObjects is the number of long-lived Fanout-slot objects per
+	// mutator; the fan of stores rotates through them. After the first
+	// collection they are old (black), so the stores into them are the
+	// inter-generational writes that dirty cards.
+	BaseObjects int
+
+	// Fanout is the number of pointer stores per operation — the slot
+	// count of each base object.
+	Fanout int
+
+	// Ring is the rooted window of recently allocated objects; store
+	// values are drawn from it, so every store writes a live young
+	// reference (an object that rotates out of the ring stays
+	// reachable only through the base slots that still hold it).
+	Ring int
+
+	// UseWriteBatch switches the fan of stores from a Write-per-slot
+	// loop to one WriteBatch call per operation. The stores are
+	// identical (same slots, same values, same program point), so the
+	// two APIs are directly comparable in the benchmark sweep.
+	UseWriteBatch bool
+}
+
+// withDefaults fills unset fields: 64 base objects, fanout 8, a
+// 32-object recent ring.
+func (c BarrierChurn) withDefaults() BarrierChurn {
+	if c.BaseObjects == 0 {
+		c.BaseObjects = 64
+	}
+	if c.Fanout == 0 {
+		c.Fanout = 8
+	}
+	if c.Ring == 0 {
+		c.Ring = 32
+	}
+	return c
+}
+
+// RunThread executes ops churn operations on m: per operation, allocate
+// one small object into the rooted ring, then store Fanout references
+// from the ring into the slots of the next base object (through the
+// write barrier), then pass a safe point. It leaves its roots in place;
+// callers detach the mutator or pop them.
+func (c BarrierChurn) RunThread(m *gengc.Mutator, ops int) error {
+	c = c.withDefaults()
+	base := make([]gengc.Ref, c.BaseObjects)
+	for i := range base {
+		obj, err := m.Alloc(c.Fanout, 0)
+		if err != nil {
+			return err
+		}
+		m.PushRoot(obj)
+		base[i] = obj
+		m.Safepoint()
+	}
+	ring := make([]int, c.Ring)
+	for i := range ring {
+		ring[i] = m.PushRoot(gengc.Nil)
+	}
+	vals := make([]gengc.Ref, c.Fanout)
+	for op := 0; op < ops; op++ {
+		y, err := m.Alloc(2, 48)
+		if err != nil {
+			return err
+		}
+		m.SetRoot(ring[op%c.Ring], y)
+		for i := range vals {
+			// Spread the fan over the ring without a PRNG; the stride
+			// keeps consecutive slots from holding the same value.
+			vals[i] = m.Root(ring[(op+i*7)%c.Ring])
+		}
+		x := base[op%c.BaseObjects]
+		if c.UseWriteBatch {
+			m.WriteBatch(x, vals)
+		} else {
+			for i, v := range vals {
+				m.Write(x, i, v)
+			}
+		}
+		m.Safepoint()
+	}
+	return nil
+}

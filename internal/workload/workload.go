@@ -393,8 +393,12 @@ func (r *runner) buildBase() error {
 		if err != nil {
 			return err
 		}
-		// Slot 0 is the spine of the chain.
-		r.m.Write(obj, 0, prev)
+		// Slot 0 is the spine of the chain. A one-element batch: the
+		// spine is the only slot initialized here, and WriteBatch fills
+		// a dense prefix. The profile's mutation phases (updateOld,
+		// cluster attach) stay on Write — they hit random single slots
+		// of random objects, which a batch cannot express.
+		r.m.WriteBatch(obj, []gengc.Ref{prev})
 		r.m.SetRoot(root, obj)
 		prev = obj
 		r.base = append(r.base, obj)
