@@ -35,12 +35,14 @@ bench:
 # bench-json sweeps the allocation path over mutator counts (1/2/4/8)
 # and shard counts (single lock vs per-class) into BENCH_alloc.json,
 # then the write barrier over mutator counts × barrier modes × write
-# APIs into BENCH_barrier.json. Both files embed their pre-change
-# baselines (global-lock allocation; eager per-store barrier) for
-# before/after comparison, and the barrier sweep flags regressions.
+# APIs into BENCH_barrier.json, then the telemetry surface (tracer +
+# flight recorder + pause SLO, on vs off, plus the scrape-vs-snapshot
+# agreement check) into BENCH_telemetry.json. The files embed their
+# baselines for before/after comparison and flag regressions.
 bench-json:
 	$(GO) run ./cmd/gcbench -experiment alloc -benchjson BENCH_alloc.json
 	$(GO) run ./cmd/gcbench -experiment barrier -barrierjson BENCH_barrier.json
+	$(GO) run ./cmd/gcbench -experiment telemetry -telemetryjson BENCH_telemetry.json
 
 # chaos runs a short fixed-seed fault-injection campaign under the race
 # detector: every schedule (stalls, slow workers, transient OOM, the

@@ -186,5 +186,8 @@ func barrierExperiment(w io.Writer, jsonPath string) error {
 		return err
 	}
 	fmt.Fprintf(w, "barrier sweep written to %s\n\n", jsonPath)
+	if len(rep.Regressions) > 0 {
+		return fmt.Errorf("barrier sweep: %w", errRegression)
+	}
 	return nil
 }

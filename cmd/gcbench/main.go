@@ -16,6 +16,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -27,11 +28,18 @@ import (
 	"gengc/internal/bench"
 )
 
+// errRegression marks a sweep that completed (and wrote its JSON
+// report) but flagged performance regressions against its embedded
+// baseline or acceptance bound. main exits with code 2 so CI can gate
+// on it while still collecting the report artifact.
+var errRegression = errors.New("regressions flagged (see the JSON report)")
+
 func main() {
 	var (
-		experiment  = flag.String("experiment", "all", "fig7|fig8|fig9|char|fig16|fig17|aging|fig20|cards|alloc|barrier|all")
+		experiment  = flag.String("experiment", "all", "fig7|fig8|fig9|char|fig16|fig17|aging|fig20|cards|alloc|barrier|telemetry|all")
 		benchJSON   = flag.String("benchjson", "BENCH_alloc.json", "output path of the -experiment alloc sweep")
 		barrierJSON = flag.String("barrierjson", "BENCH_barrier.json", "output path of the -experiment barrier sweep")
+		telemJSON   = flag.String("telemetryjson", "BENCH_telemetry.json", "output path of the -experiment telemetry comparison")
 		scale       = flag.Float64("scale", 1.0, "workload length multiplier")
 		repeats     = flag.Int("repeats", 3, "runs to average per measurement")
 		seed        = flag.Int64("seed", 0, "workload random seed (0 = default)")
@@ -73,8 +81,11 @@ func main() {
 	fmt.Fprintf(w, "gcbench: scale=%v repeats=%d gcworkers=%d GOMAXPROCS=%d NumCPU=%d\n\n",
 		*scale, *repeats, *gcworkers, runtime.GOMAXPROCS(0), runtime.NumCPU())
 	start := time.Now()
-	if err := run(w, opts, *experiment, *csv, *benchJSON, *barrierJSON); err != nil {
+	if err := run(w, opts, *experiment, *csv, *benchJSON, *barrierJSON, *telemJSON); err != nil {
 		fmt.Fprintln(os.Stderr, "gcbench:", err)
+		if errors.Is(err, errRegression) {
+			os.Exit(2)
+		}
 		os.Exit(1)
 	}
 	if sink != nil {
@@ -88,7 +99,7 @@ func main() {
 	fmt.Fprintf(w, "total experiment time: %v\n", time.Since(start).Round(time.Second))
 }
 
-func run(w io.Writer, opts bench.Options, experiment string, csv bool, benchJSON, barrierJSON string) error {
+func run(w io.Writer, opts bench.Options, experiment string, csv bool, benchJSON, barrierJSON, telemJSON string) error {
 	render := func(t bench.Table) {
 		if csv {
 			t.FormatCSV(w)
@@ -151,6 +162,8 @@ func run(w io.Writer, opts bench.Options, experiment string, csv bool, benchJSON
 		return allocExperiment(w, benchJSON)
 	case "barrier":
 		return barrierExperiment(w, barrierJSON)
+	case "telemetry":
+		return telemetryExperiment(w, telemJSON)
 	case "all":
 		for _, step := range []func() error{
 			func() error { return emit(opts.Fig7()) },

@@ -48,6 +48,7 @@ type schedule struct {
 	rules   []gengc.FaultRule
 	workers int  // collector workers (0 = the -workers flag)
 	shards  int  // allocation shards (0 = the per-class default)
+	flight  int  // flight-recorder ring size (0 = recorder off)
 	storm   bool // run allocStorm instead of churn
 	sink    bool
 	// barrier selects the write barrier (zero = BarrierEager).
@@ -65,8 +66,11 @@ func schedules(workers int) []schedule {
 			// Stalled mutators: injected safe-point delays longer than
 			// the watchdog deadline. Every fired delay holds a mutator
 			// the collector is actively waiting on, so the watchdog
-			// must have reported at least one stall if any fired.
-			name: "stall",
+			// must have reported at least one stall if any fired — and
+			// each report must freeze a flight-recorder dump carrying
+			// the stall event plus the ring that led up to it.
+			name:   "stall",
+			flight: 256,
 			rules: []gengc.FaultRule{
 				{Point: gengc.FaultCooperate, Kind: gengc.FaultDelay,
 					P: 0.5, Delay: 25 * time.Millisecond, Count: 4},
@@ -80,6 +84,34 @@ func schedules(workers int) []schedule {
 				if fired > 0 && stalls == 0 {
 					*v = append(*v, fmt.Sprintf(
 						"stall: %d injected safe-point delays but zero watchdog reports", fired))
+				}
+				if stalls == 0 {
+					return
+				}
+				fr := rt.FlightRecorder()
+				if fr == nil || fr.DumpCount() == 0 {
+					*v = append(*v, "stall: watchdog fired but the flight recorder captured no dump")
+					return
+				}
+				dump, _ := fr.LastDump()
+				var stallEvs, otherEvs int
+				for _, e := range dump.Events {
+					if e.Ev == "stall" {
+						stallEvs++
+					} else {
+						otherEvs++
+					}
+				}
+				if stallEvs == 0 {
+					*v = append(*v, fmt.Sprintf(
+						"stall: flight dump (reason %q, %d events) holds no stall event",
+						dump.Reason, len(dump.Events)))
+				}
+				if otherEvs == 0 {
+					*v = append(*v, "stall: flight dump holds no ring context besides the stall event")
+				}
+				if dump.Snapshot == nil {
+					*v = append(*v, "stall: flight dump carries no snapshot")
 				}
 			},
 		},
@@ -282,6 +314,7 @@ func runSchedule(s schedule, seed int64, mode gengc.Mode, mutators, rounds, ops,
 		gengc.WithWorkers(w),
 		gengc.WithAllocShards(s.shards),
 		gengc.WithBarrier(s.barrier),
+		gengc.WithFlightRecorder(s.flight),
 		gengc.WithSelfCheck(true),
 		gengc.WithStallTimeout(8 * time.Millisecond),
 		gengc.WithAllocRetries(8),

@@ -1,0 +1,137 @@
+// Command gcmon runs a continuous churn workload on the collector and
+// serves its live observability surface over HTTP — the quickest way to
+// watch the runtime breathe under a Prometheus/Grafana stack or plain
+// curl:
+//
+//	gcmon -addr :8080 -mode gen -threads 4 &
+//	curl localhost:8080/metrics              # Prometheus text exposition
+//	curl localhost:8080/snapshot             # Runtime.Snapshot as JSON
+//	curl localhost:8080/flightrecorder/dump  # force + serve a flight dump
+//
+// Endpoints:
+//
+//	/metrics             Prometheus text format (Runtime.MetricsHandler)
+//	/snapshot            the full Snapshot, JSON-encoded
+//	/flightrecorder/dump triggers a manual flight-recorder capture and
+//	                     serves it as JSONL (the same format the anomaly
+//	                     triggers write); 404 without -flightrecorder
+//
+// The workload is the deterministic pointer-churn loop of the barrier
+// benchmark: each thread allocates into a rooted ring and fans stores
+// into long-lived base objects, so partials, promotions and card traffic
+// all advance continuously.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"sync/atomic"
+	"time"
+
+	"gengc"
+	"gengc/internal/workload"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8080", "HTTP listen address")
+		modeStr = flag.String("mode", "gen", "collector: non|gen|aging")
+		threads = flag.Int("threads", 4, "churn mutator threads")
+		workers = flag.Int("workers", 1, "parallel collector workers")
+		youngMB = flag.Int("young", 4, "young generation size in MB")
+		flight  = flag.Int("flightrecorder", 256, "flight-recorder ring size (0 disables)")
+		slo     = flag.Duration("slo", 0, "pause SLO (0 disables; breaches trigger dumps)")
+	)
+	flag.Parse()
+
+	var mode gengc.Mode
+	switch *modeStr {
+	case "non":
+		mode = gengc.NonGenerational
+	case "gen":
+		mode = gengc.Generational
+	case "aging":
+		mode = gengc.GenerationalAging
+	default:
+		log.Fatalf("unknown mode %q", *modeStr)
+	}
+
+	rt, err := gengc.New(
+		gengc.WithMode(mode),
+		gengc.WithWorkers(*workers),
+		gengc.WithYoungBytes(*youngMB<<20),
+		gengc.WithFlightRecorder(*flight),
+		gengc.WithPauseSLO(*slo),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer rt.Close()
+
+	// The churn threads run until the process dies; ops counts completed
+	// operations for the periodic status line.
+	var ops atomic.Int64
+	churn := workload.BarrierChurn{}
+	for i := 0; i < *threads; i++ {
+		go func() {
+			m := rt.NewMutator()
+			defer m.Detach()
+			for {
+				n0 := m.NumRoots()
+				if err := churn.RunThread(m, 10_000); err != nil {
+					// ErrOutOfMemory/ErrStalled already triggered a
+					// flight dump; drop this chunk's roots and retry.
+					log.Printf("churn thread %d: %v", i, err)
+					time.Sleep(100 * time.Millisecond)
+				}
+				ops.Add(10_000)
+				m.PopRoots(m.NumRoots() - n0)
+				m.Safepoint()
+			}
+		}()
+	}
+
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", rt.MetricsHandler())
+	mux.HandleFunc("/snapshot", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(rt.Snapshot())
+	})
+	mux.HandleFunc("/flightrecorder/dump", func(w http.ResponseWriter, _ *http.Request) {
+		fr := rt.FlightRecorder()
+		if fr == nil {
+			http.Error(w, "flight recorder disabled (-flightrecorder 0)", http.StatusNotFound)
+			return
+		}
+		fr.Trigger("manual")
+		dump, ok := fr.LastDump()
+		if !ok {
+			http.Error(w, "no dump captured yet", http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		if err := dump.WriteJSONL(w); err != nil {
+			log.Printf("writing dump: %v", err)
+		}
+	})
+
+	go func() {
+		for range time.Tick(10 * time.Second) {
+			s := rt.Snapshot()
+			fmt.Fprintf(os.Stderr,
+				"gcmon: ops=%d cycles=%d (%d full) heap=%dKB promoted=%dKB p99=%v dumps=%d\n",
+				ops.Load(), s.Cycles, s.Fulls, s.HeapBytes/1024,
+				s.Demographics.PromotedBytes/1024, s.Fleet.P99, s.FlightRecorderDumps)
+		}
+	}()
+
+	log.Printf("gcmon: serving /metrics, /snapshot, /flightrecorder/dump on %s (%d churn threads, mode %v)",
+		*addr, *threads, mode)
+	log.Fatal(http.ListenAndServe(*addr, mux))
+}

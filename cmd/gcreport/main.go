@@ -2,8 +2,9 @@
 // -trace flag of gcbench, gctrace or gcstress, or any
 // gengc.NewJSONLTraceSink) into paper-style text figures: the
 // mutator pause-time CDF, the per-phase collection-cycle breakdown,
-// the dirty-card statistics, and per-mutator pause tables. See
-// OBSERVABILITY.md for how each output maps onto the paper's figures.
+// the dirty-card statistics, the promotion/survival demographics, and
+// per-mutator pause tables. See OBSERVABILITY.md for how each output
+// maps onto the paper's figures.
 //
 // Usage:
 //
@@ -26,6 +27,7 @@ func main() {
 		cdf      = flag.Bool("cdf", false, "render the pause-time CDF")
 		phases   = flag.Bool("phases", false, "render the cycle phase breakdown")
 		cards    = flag.Bool("cards", false, "render dirty-card statistics")
+		demo     = flag.Bool("demographics", false, "render promotion/survival demographics")
 		mutators = flag.Bool("mutators", false, "render per-mutator pause tables")
 		all      = flag.Bool("all", false, "render everything (default when no figure flag is given)")
 		csv      = flag.Bool("csv", false, "emit CSV instead of aligned text")
@@ -60,7 +62,7 @@ func main() {
 		fail(fmt.Errorf("empty trace"))
 	}
 
-	none := !*cdf && !*phases && !*cards && !*mutators
+	none := !*cdf && !*phases && !*cards && !*demo && !*mutators
 	everything := *all || none
 	w := os.Stdout
 	if !*csv {
@@ -74,6 +76,9 @@ func main() {
 	}
 	if everything || *cards {
 		report.RenderCards(w, t, *csv)
+	}
+	if everything || *demo {
+		report.RenderDemographics(w, t, *csv)
 	}
 	if everything || *mutators {
 		report.RenderMutators(w, t, *csv)

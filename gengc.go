@@ -60,6 +60,7 @@ import (
 	"gengc/internal/gc"
 	"gengc/internal/heap"
 	"gengc/internal/metrics"
+	"gengc/internal/telemetry"
 	"gengc/internal/trace"
 )
 
@@ -147,6 +148,22 @@ type AllocStats = heap.AllocStats
 // ShardStats is one central shard's row in AllocStats.PerShard.
 type ShardStats = heap.ShardStats
 
+// Demographics is the run-cumulative heap-demographics aggregate
+// reported in Snapshot.Demographics: promotion and survival totals,
+// the aging survival histogram, per-size-class death counts, and
+// inter-generational pointer traffic. See OBSERVABILITY.md §7.
+type Demographics = metrics.Demographics
+
+// FlightRecorder is the anomaly flight recorder armed with
+// WithFlightRecorder: a bounded ring of the last N trace events frozen
+// into dumps when the runtime hits trouble. See OBSERVABILITY.md §7 for
+// the trigger matrix.
+type FlightRecorder = telemetry.Recorder
+
+// FlightDump is one frozen flight-recorder capture: the trigger reason,
+// the preceding trace events, and a Snapshot taken at the trigger.
+type FlightDump = telemetry.Dump
+
 // PauseStats summarizes one pause histogram: the count, total and the
 // p50/p90/p99/p99.9/max quantiles of the mutator-visible delays the
 // on-the-fly collector imposes (handshake responses, root marking,
@@ -168,7 +185,7 @@ func New(opts ...Option) (*Runtime, error) {
 		return nil, err
 	}
 	c.Start()
-	return &Runtime{c: c}, nil
+	return newRuntime(c), nil
 }
 
 // NewManual creates a runtime whose collections run only when Collect is
@@ -179,7 +196,18 @@ func NewManual(opts ...Option) (*Runtime, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Runtime{c: c}, nil
+	return newRuntime(c), nil
+}
+
+// newRuntime wraps the collector and completes the wiring the collector
+// cannot do itself: the flight recorder's snapshot function captures
+// the facade-level Snapshot, not the collector's internals.
+func newRuntime(c *gc.Collector) *Runtime {
+	rt := &Runtime{c: c}
+	if fr := c.FlightRecorder(); fr != nil {
+		fr.SetSnapshotFn(func() any { return rt.Snapshot() })
+	}
+	return rt
 }
 
 // Close stops the collector goroutine and flushes the trace sink. It
@@ -268,13 +296,33 @@ type Snapshot struct {
 	// zero-valued when pause accounting is off (WithPauseHistograms).
 	Fleet    PauseStats
 	Mutators []PauseStats
+
+	// Demographics is the run-cumulative heap-demographics aggregate:
+	// objects/bytes promoted into the old generation, the young
+	// survival totals and aging survival histogram, per-size-class
+	// death counts, and inter-generational card/remset traffic.
+	// Populated by generational partial collections; the online signal
+	// the adaptive-pacer work reads.
+	Demographics Demographics
+
+	// PromotionRate is the pacer's smoothed promoted-bytes-per-young-
+	// byte estimate (0 until a generational partial completes).
+	PromotionRate float64
+
+	// SLOBreaches counts recorded pauses that exceeded WithPauseSLO
+	// (always zero without one).
+	SLOBreaches int64
+
+	// FlightRecorderDumps counts anomaly captures the flight recorder
+	// has taken (zero without WithFlightRecorder).
+	FlightRecorderDumps int64
 }
 
 // Snapshot captures the current Snapshot. Safe to call at any time,
 // from any goroutine, including while mutators and the collector run.
 func (r *Runtime) Snapshot() Snapshot {
 	fleet, per := r.c.PauseStats()
-	return Snapshot{
+	s := Snapshot{
 		Cycles:        r.c.CyclesDone(),
 		Fulls:         r.c.FullsDone(),
 		HeapBytes:     r.c.HeapBytes(),
@@ -287,8 +335,20 @@ func (r *Runtime) Snapshot() Snapshot {
 		Barrier:       r.c.BarrierStats(),
 		Fleet:         fleet,
 		Mutators:      per,
+		Demographics:  r.c.DemographicStats(),
+		PromotionRate: r.c.Pacer().PromotionRate(),
+		SLOBreaches:   r.c.SLOBreaches(),
 	}
+	if fr := r.c.FlightRecorder(); fr != nil {
+		s.FlightRecorderDumps = fr.DumpCount()
+	}
+	return s
 }
+
+// FlightRecorder returns the anomaly flight recorder armed with
+// WithFlightRecorder, or nil. Its Dumps/LastDump methods return the
+// frozen captures; Trigger forces a manual capture.
+func (r *Runtime) FlightRecorder() *FlightRecorder { return r.c.FlightRecorder() }
 
 // PublishExpvar exposes the runtime's Snapshot under name in the
 // process-wide expvar registry (so it shows up on /debug/vars). It

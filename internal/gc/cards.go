@@ -60,6 +60,7 @@ func (c *Collector) clearCardsSimple() {
 				if c.H.CasColor(addr, heap.Black, heap.Gray) {
 					c.markStack = append(c.markStack, addr)
 					c.cyc.InterGenScanned++
+					c.cyc.InterGenBytes += size
 				}
 			}
 		})
@@ -118,6 +119,7 @@ func (c *Collector) clearCardsAging() {
 			c.H.Pages.TouchAge(addr)
 			c.H.Pages.TouchHeap(addr, size)
 			c.cyc.InterGenScanned++
+			c.cyc.InterGenBytes += size
 			for i := 0; i < slots; i++ {
 				t := c.H.LoadSlot(addr, i)
 				if t == 0 {

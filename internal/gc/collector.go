@@ -3,6 +3,7 @@ package gc
 import (
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -11,6 +12,7 @@ import (
 	"gengc/internal/fault"
 	"gengc/internal/heap"
 	"gengc/internal/metrics"
+	"gengc/internal/telemetry"
 	"gengc/internal/trace"
 )
 
@@ -147,10 +149,28 @@ type Collector struct {
 	cycleMu sync.Mutex
 
 	// tracer and ring are the structured-event layer (nil without a
-	// configured TraceSink); ring is the collector goroutine's own
-	// event buffer, workers and mutators get their own (observe.go).
+	// configured TraceSink or armed flight recorder); ring is the
+	// collector goroutine's own event buffer, workers and mutators get
+	// their own (observe.go).
 	tracer *trace.Tracer
 	ring   *trace.Ring
+
+	// recorder is the anomaly flight recorder (nil unless
+	// Config.FlightRecorderEvents is positive); it receives the event
+	// stream as a (tee'd) trace sink and freezes dumps on trigger.
+	recorder *telemetry.Recorder
+
+	// sloBreaches counts recorded mutator pauses that exceeded
+	// Config.PauseSLO.
+	sloBreaches atomic.Int64
+
+	// demo accumulates run-cumulative heap demographics, folded in by
+	// the collector goroutine at the end of every cycle; readers take
+	// the mutex (DemographicStats).
+	demo struct {
+		sync.Mutex
+		metrics.Demographics
+	}
 
 	// retired accumulates the pause histograms of detached mutators so
 	// fleet-wide pause statistics cover the runtime's whole history.
@@ -226,8 +246,20 @@ func New(cfg Config) (*Collector, error) {
 	}
 	c := &Collector{H: h, Cards: ct, cfg: cfg, rec: metrics.NewRecorder(),
 		retired: &metrics.Histogram{}, flt: cfg.Fault}
-	if cfg.TraceSink != nil {
-		c.tracer = trace.New(cfg.TraceSink)
+	if cfg.FlightRecorderEvents > 0 {
+		c.recorder = telemetry.NewRecorder(cfg.FlightRecorderEvents)
+	}
+	var sink trace.Sink
+	switch {
+	case cfg.TraceSink != nil && c.recorder != nil:
+		sink = trace.TeeSink(cfg.TraceSink, c.recorder)
+	case cfg.TraceSink != nil:
+		sink = cfg.TraceSink
+	case c.recorder != nil:
+		sink = c.recorder
+	}
+	if sink != nil {
+		c.tracer = trace.NewWithMeta(sink, runMeta(cfg, h))
 		c.tracer.SetInjector(c.flt)
 		c.ring = c.tracer.NewRing()
 	}
@@ -263,8 +295,25 @@ func New(cfg Config) (*Collector, error) {
 	return c, nil
 }
 
+// runMeta builds the run-metadata string stamped into the trace "start"
+// event: the knobs a reader needs to interpret a run's numbers, in a
+// fixed "key=value" order.
+func runMeta(cfg Config, h *heap.Heap) string {
+	version := "unknown"
+	if bi, ok := debug.ReadBuildInfo(); ok && bi.Main.Version != "" {
+		version = bi.Main.Version
+	}
+	return fmt.Sprintf("gomaxprocs=%d workers=%d shards=%d barrier=%s mode=%s version=%s",
+		runtime.GOMAXPROCS(0), cfg.Workers, h.AllocStats().Shards,
+		cfg.Barrier, cfg.Mode, version)
+}
+
 // Config returns the collector's effective configuration.
 func (c *Collector) Config() Config { return c.cfg }
+
+// RunMeta returns the run-metadata string this collector stamps into
+// its trace "start" event.
+func (c *Collector) RunMeta() string { return runMeta(c.cfg, c.H) }
 
 // Metrics returns the cycle recorder.
 func (c *Collector) Metrics() *metrics.Recorder { return c.rec }
@@ -356,8 +405,8 @@ func (c *Collector) OnStall(fn func(Stall)) {
 	c.onStall.Unlock()
 }
 
-// notifyStall fans one watchdog report out to the three surfaces:
-// counter, trace event, callback.
+// notifyStall fans one watchdog report out to the surfaces: counter,
+// trace event, flight recorder, callback.
 func (c *Collector) notifyStall(s Stall) {
 	c.stalls.Add(1)
 	if c.tracer != nil {
@@ -370,12 +419,44 @@ func (c *Collector) notifyStall(s Stall) {
 			K:      s.Phase,
 		})
 	}
+	c.triggerDump("stall")
 	c.onStall.Lock()
 	fn := c.onStall.fn
 	c.onStall.Unlock()
 	if fn != nil {
 		fn(s)
 	}
+}
+
+// triggerDump freezes a flight-recorder capture for reason. The rings
+// are flushed first so the event that provoked the trigger — emitted
+// moments ago into a producer ring — is inside the captured window;
+// Tracer.Flush is mutex-guarded, so this is safe from any goroutine
+// (the watchdog mid-handshake, a mutator's allocation give-up, a pause
+// recording). Nil-safe: without an armed recorder it costs one pointer
+// comparison.
+func (c *Collector) triggerDump(reason string) {
+	if c.recorder == nil {
+		return
+	}
+	if c.tracer != nil {
+		c.tracer.Flush()
+	}
+	c.recorder.Trigger(reason)
+}
+
+// FlightRecorder returns the armed anomaly flight recorder, or nil.
+func (c *Collector) FlightRecorder() *telemetry.Recorder { return c.recorder }
+
+// SLOBreaches returns how many recorded pauses exceeded the configured
+// PauseSLO (always zero without one).
+func (c *Collector) SLOBreaches() int64 { return c.sloBreaches.Load() }
+
+// DemographicStats returns the run-cumulative heap demographics.
+func (c *Collector) DemographicStats() metrics.Demographics {
+	c.demo.Lock()
+	defer c.demo.Unlock()
+	return c.demo.Demographics.Clone()
 }
 
 // recordSelfCheckViolation retains an inter-cycle audit failure.

@@ -267,6 +267,22 @@ type Config struct {
 	// to the sink at the end of every cycle and at Stop.
 	TraceSink trace.Sink
 
+	// FlightRecorderEvents, when positive, arms the anomaly flight
+	// recorder (internal/telemetry): a bounded in-memory ring holding
+	// the last N trace events, frozen into a dump — together with a
+	// runtime snapshot — when a stall is reported, a cycle aborts, an
+	// allocation gives up (OOM or ErrStalled), or a pause breaches
+	// PauseSLO. The recorder taps the same event stream as TraceSink
+	// (tee'd when both are set), so arming it without a sink still
+	// turns the trace layer on.
+	FlightRecorderEvents int
+
+	// PauseSLO, when positive, is the mutator pause service-level
+	// objective: every recorded pause longer than this is counted
+	// (Snapshot.SLOBreaches) and triggers a flight-recorder dump when
+	// one is armed. Requires pause histograms (the default).
+	PauseSLO time.Duration
+
 	// DisablePauseHistograms turns off per-mutator pause accounting.
 	// By default every mutator records its handshake/root-marking and
 	// allocation-stall delays into a log-linear histogram (reported by
@@ -347,6 +363,15 @@ func (c Config) validate() error {
 	}
 	if c.AllocRetries < 1 || c.AllocRetries > 1000 {
 		return fmt.Errorf("gc: %w: allocation retry bound %d out of [1,1000]", ErrInvalidConfig, c.AllocRetries)
+	}
+	if c.FlightRecorderEvents < 0 || c.FlightRecorderEvents > 1<<20 {
+		return fmt.Errorf("gc: %w: flight recorder size %d out of [0,%d]", ErrInvalidConfig, c.FlightRecorderEvents, 1<<20)
+	}
+	if c.PauseSLO < 0 {
+		return fmt.Errorf("gc: %w: negative pause SLO %v", ErrInvalidConfig, c.PauseSLO)
+	}
+	if c.PauseSLO > 0 && c.DisablePauseHistograms {
+		return fmt.Errorf("gc: %w: a pause SLO requires pause histograms", ErrInvalidConfig)
 	}
 	if c.Barrier < BarrierEager || c.Barrier > BarrierBatched {
 		return fmt.Errorf("gc: %w: invalid barrier mode %d", ErrInvalidConfig, int(c.Barrier))

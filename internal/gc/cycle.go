@@ -2,6 +2,7 @@ package gc
 
 import (
 	"fmt"
+	"strings"
 	"time"
 
 	"gengc/internal/heap"
@@ -103,8 +104,14 @@ func (c *Collector) Cycle(full bool) {
 	// black (it is old): re-gray it so a partial collection scans its
 	// slots, since stores to globals mark cards like any heap store
 	// but the globals object must act as a first-class root.
+	// rootedGlobals records whether *this* graying admitted the globals
+	// object to the trace — if the card scan already re-grayed it, it
+	// is inside the InterGenScanned counters instead — so the simple
+	// scheme's trace-side promotion arithmetic below can exclude it.
+	rootsBefore := len(c.markStack)
 	c.collectorMarkGray(c.globals)
 	c.collectorShadeFrom(c.globals, heap.Black)
+	rootedGlobals := len(c.markStack) > rootsBefore
 	if !c.waitHandshake() {
 		c.abortCycle(start, "sync3")
 		return
@@ -141,9 +148,64 @@ func (c *Collector) Cycle(full bool) {
 		c.cyc.Survivors = c.cyc.ObjectsScanned
 	case c.cfg.Mode == Generational:
 		// Young survivors: everything blackened except the old
-		// objects re-grayed by the card scan.
+		// objects re-grayed by the card scan. In the simple scheme
+		// every one of them is promoted, so the same arithmetic —
+		// minus the globals root when it entered the trace as a root
+		// rather than via a dirty card — yields the promotion counts;
+		// byte-side, the trace accumulated each blackened object's
+		// size, and the card scan / remembered-set drain the re-grayed
+		// old volume.
 		c.cyc.Survivors = c.cyc.ObjectsScanned - c.cyc.InterGenScanned
+		promoted := c.cyc.Survivors
+		promotedBytes := c.cyc.TraceBytes - c.cyc.InterGenBytes
+		if rootedGlobals {
+			promoted--
+			promotedBytes -= c.H.SizeOf(c.globals)
+		}
+		if promoted < 0 {
+			promoted = 0
+		}
+		if promotedBytes < 0 {
+			promotedBytes = 0
+		}
+		c.cyc.PromotedObjects = promoted
+		c.cyc.PromotedBytes = promotedBytes
+	case c.cfg.Mode == GenerationalAging:
+		// Aging: the sweep already counted (and demoted) the young
+		// survivors below the threshold. Everything else the trace
+		// blackened — minus the re-grayed old objects and the globals
+		// root — reached the threshold and stayed black: the newly
+		// tenured cohort. The sweep itself cannot count it (a freshly
+		// tenured object is indistinguishable from one tenured cycles
+		// ago), but the trace only ever blackens young objects in a
+		// partial, so the subtraction is exact.
+		promoted := c.cyc.ObjectsScanned - c.cyc.InterGenScanned - c.cyc.Survivors
+		promotedBytes := c.cyc.TraceBytes - c.cyc.InterGenBytes - c.cyc.SurvivorBytes
+		if rootedGlobals {
+			promoted--
+			promotedBytes -= c.H.SizeOf(c.globals)
+		}
+		if promoted < 0 {
+			promoted = 0
+		}
+		if promotedBytes < 0 {
+			promotedBytes = 0
+		}
+		c.cyc.PromotedObjects = promoted
+		c.cyc.PromotedBytes = promotedBytes
+		if promoted > 0 {
+			// The tenure bucket closes the survival histogram: its
+			// final populated index is the threshold age.
+			oldest := int(c.oldestAge())
+			for len(c.cyc.SurvivalByAge) <= oldest {
+				c.cyc.SurvivalByAge = append(c.cyc.SurvivalByAge, 0)
+			}
+			c.cyc.SurvivalByAge[oldest] += int64(promoted)
+		}
 	}
+	// Trim the sweep's fixed-size survival histogram down to its
+	// populated prefix before the record is retained.
+	c.cyc.SurvivalByAge = trimTrailingZeros(c.cyc.SurvivalByAge)
 
 	c.cyc.Duration = time.Since(start)
 	c.cyc.PagesTouched = c.H.Pages.Count()
@@ -156,9 +218,19 @@ func (c *Collector) Cycle(full bool) {
 		(allocBase.ShardContended + allocBase.PageContended)
 	c.cyc.BarrierFlushes = c.barrierFlushes.Load() - barrierBase
 	c.emit("allocstats", start, "", c.cyc.AllocRefills, c.cyc.AllocContended)
+	if !full && c.cfg.Mode.IsGenerational() {
+		c.emit("demographics", start, survivalKey(c.cyc.SurvivalByAge),
+			int64(c.cyc.PromotedObjects), int64(c.cyc.PromotedBytes))
+	}
 	c.emit("cycle", start, kind.String(),
 		int64(c.cyc.ObjectsScanned), int64(c.cyc.ObjectsFreed))
 	c.flushTrace()
+	c.demo.Lock()
+	c.demo.AddCycle(c.cyc)
+	c.demo.Unlock()
+	if !full && c.cfg.Mode.IsGenerational() {
+		c.pacer.NotePromotion(c.cyc.PromotedBytes, int(youngAtStart))
+	}
 	c.rec.Record(c.cyc)
 	if c.cfg.Log != nil {
 		fmt.Fprintf(c.cfg.Log,
@@ -194,6 +266,38 @@ func (c *Collector) Cycle(full bool) {
 	}
 }
 
+// trimTrailingZeros shrinks a histogram slice to its populated prefix;
+// an all-zero slice becomes nil.
+func trimTrailingZeros(v []int64) []int64 {
+	n := len(v)
+	for n > 0 && v[n-1] == 0 {
+		n--
+	}
+	if n == 0 {
+		return nil
+	}
+	return v[:n]
+}
+
+// survivalKey renders a survival histogram as "age:count,..." pairs for
+// the demographics trace event's K field, skipping empty buckets.
+func survivalKey(v []int64) string {
+	if len(v) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	for age, n := range v {
+		if n == 0 {
+			continue
+		}
+		if b.Len() > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%d:%d", age, n)
+	}
+	return b.String()
+}
+
 // abortCycle abandons a collection whose handshake was wedged past the
 // close grace period (Stop). It never runs outside a close: the abort
 // converges the protocol state — status back to async, trace predicate
@@ -209,6 +313,7 @@ func (c *Collector) abortCycle(start time.Time, phase string) {
 	c.abortedCycles.Add(1)
 	c.emit("cycleabort", start, phase, 0, 0)
 	c.flushTrace()
+	c.triggerDump("cycleabort")
 	if c.cfg.Log != nil {
 		fmt.Fprintf(c.cfg.Log, "gc: cycle aborted at close (wedged in %s after %v)\n",
 			phase, time.Since(start).Round(time.Millisecond))

@@ -241,6 +241,10 @@ func (m *Mutator) recordPause(start time.Time, cause string) {
 			K:      cause,
 		})
 	}
+	if slo := m.c.cfg.PauseSLO; slo > 0 && d > slo {
+		m.c.sloBreaches.Add(1)
+		m.c.triggerDump("pauseslo")
+	}
 }
 
 // markGray is the MarkGray of Figure 1: shade the object gray if it has
@@ -474,6 +478,7 @@ func (m *Mutator) alloc(ctx context.Context, slots, size int) (heap.Addr, error)
 			return addr, nil
 		}
 		if attempt >= m.c.cfg.AllocRetries {
+			m.c.triggerDump("oom")
 			return 0, fmt.Errorf("gc: mutator %d: %w after %d full collections", m.id, err, attempt)
 		}
 		if werr := m.waitForFullCollection(ctx, attempt); werr != nil {
@@ -518,6 +523,7 @@ func (m *Mutator) waitForFullCollection(ctx context.Context, attempt int) error 
 			return fmt.Errorf("gc: mutator %d: full collection wait: %w", m.id, ErrClosed)
 		}
 		if err := ctx.Err(); err != nil {
+			m.c.triggerDump("allocstall")
 			return fmt.Errorf("gc: mutator %d: full collection wait: %w (%w)",
 				m.id, ErrStalled, err)
 		}

@@ -63,8 +63,7 @@ func (c *Collector) flushTrace() {
 // full collection. Safe to call at any time, including while mutators
 // run; empty when Config.DisablePauseHistograms is set.
 func (c *Collector) PauseStats() (fleet metrics.PauseStats, perMutator []metrics.PauseStats) {
-	agg := &metrics.Histogram{}
-	c.retired.MergeInto(agg)
+	agg := c.PauseHistogram()
 	c.muts.Lock()
 	snapshot := append([]*Mutator(nil), c.muts.list...)
 	c.muts.Unlock()
@@ -73,8 +72,25 @@ func (c *Collector) PauseStats() (fleet metrics.PauseStats, perMutator []metrics
 			continue
 		}
 		perMutator = append(perMutator, m.pauses.Stats(m.id))
-		m.pauses.MergeInto(agg)
 	}
 	fleet = agg.Stats(-1)
 	return fleet, perMutator
+}
+
+// PauseHistogram returns a freshly merged fleet-wide pause histogram:
+// the retired (detached-mutator) history plus every attached mutator's
+// live histogram. The caller owns the returned copy; the Prometheus
+// exposition renders its buckets directly.
+func (c *Collector) PauseHistogram() *metrics.Histogram {
+	agg := &metrics.Histogram{}
+	c.retired.MergeInto(agg)
+	c.muts.Lock()
+	snapshot := append([]*Mutator(nil), c.muts.list...)
+	c.muts.Unlock()
+	for _, m := range snapshot {
+		if m.pauses != nil {
+			m.pauses.MergeInto(agg)
+		}
+	}
+	return agg
 }

@@ -1,6 +1,9 @@
 package gc
 
-import "sync/atomic"
+import (
+	"math"
+	"sync/atomic"
+)
 
 // Trigger is the pacer's verdict on one allocation: whether the
 // collector should be asked for a collection, and which kind.
@@ -53,7 +56,23 @@ type Pacer struct {
 	// dynOldAge is the current tenure threshold; equals the
 	// configured OldAge unless DynamicTenure adjusts it.
 	dynOldAge atomic.Int32
+
+	// promotionRate is an exponentially weighted moving average of
+	// promoted bytes per young byte allocated, observed at the end of
+	// every generational partial (NotePromotion). Stored as a float64
+	// bit pattern; the ROADMAP's adaptive-pacer work reads it to
+	// predict old-generation growth. promotedBytes is the lifetime
+	// total.
+	promotionRate atomic.Uint64
+	promotedBytes atomic.Int64
+	promotionSeen atomic.Bool
 }
+
+// promotionAlpha is the EWMA weight of the newest partial's observed
+// promotion rate: heavy enough to track phase changes within a few
+// cycles, light enough that one anomalous partial does not whipsaw the
+// estimate.
+const promotionAlpha = 0.3
 
 // newPacer derives the pacing policy from the configuration and the
 // actual (block-rounded) heap size.
@@ -165,6 +184,39 @@ func (p *Pacer) Retarget(allocated int64) {
 	}
 	p.fullTarget.Store(t)
 }
+
+// NotePromotion records one generational partial's outcome: promoted
+// bytes out of the youngBytes the cycle covered. The first observation
+// seeds the EWMA; later ones fold in with weight promotionAlpha.
+func (p *Pacer) NotePromotion(promotedBytes, youngBytes int) {
+	p.promotedBytes.Add(int64(promotedBytes))
+	if youngBytes <= 0 {
+		return
+	}
+	rate := float64(promotedBytes) / float64(youngBytes)
+	if !p.promotionSeen.Swap(true) {
+		p.promotionRate.Store(math.Float64bits(rate))
+		return
+	}
+	for {
+		old := p.promotionRate.Load()
+		next := math.Float64bits(promotionAlpha*rate +
+			(1-promotionAlpha)*math.Float64frombits(old))
+		if p.promotionRate.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// PromotionRate returns the smoothed promoted-bytes-per-young-byte
+// estimate (0 until the first generational partial completes).
+func (p *Pacer) PromotionRate() float64 {
+	return math.Float64frombits(p.promotionRate.Load())
+}
+
+// PromotedBytes returns the lifetime total of bytes promoted into the
+// old generation.
+func (p *Pacer) PromotedBytes() int64 { return p.promotedBytes.Load() }
 
 // OldAge returns the current tenure threshold.
 func (p *Pacer) OldAge() int { return int(p.dynOldAge.Load()) }

@@ -141,6 +141,7 @@ type traceWorker struct {
 	deque   wsDeque
 	scanned int
 	slots   int
+	bytes   int
 	steals  int
 	ring    *trace.Ring
 }
@@ -202,6 +203,7 @@ func (c *Collector) markBlackWorker(w *traceWorker, x heap.Addr) {
 	c.H.SetColor(x, heap.Black)
 	w.scanned++
 	w.slots += slots
+	w.bytes += c.H.SizeOf(x)
 }
 
 // traceWorkerLoop drains deques until the pool-wide pending counter
@@ -319,9 +321,10 @@ func (c *Collector) drainParallel() {
 	for id, w := range ws {
 		c.cyc.ObjectsScanned += w.scanned
 		c.cyc.SlotsScanned += w.slots
+		c.cyc.TraceBytes += w.bytes
 		c.cyc.Steals += w.steals
 		c.cyc.WorkerScanned[id] += w.scanned
-		w.scanned, w.slots, w.steals = 0, 0, 0
+		w.scanned, w.slots, w.bytes, w.steals = 0, 0, 0, 0
 	}
 }
 
@@ -513,9 +516,7 @@ func (c *Collector) sweepParallel(full bool) {
 	for i := range states {
 		st := &states[i]
 		st.flush(c)
-		c.cyc.ObjectsFreed += st.objectsFreed
-		c.cyc.BytesFreed += st.bytesFreed
-		c.cyc.Survivors += st.survivors
+		st.mergeInto(c)
 		c.cyc.WorkerFreed[i] += st.objectsFreed
 	}
 }

@@ -41,8 +41,10 @@ func (c *Collector) drainRememberedSet() {
 			c.H.Pages.TouchHeap(x, 1)
 			if c.H.Color(x) == heap.Black && c.H.CasColor(x, heap.Black, heap.Gray) {
 				c.markStack = append(c.markStack, x)
+				size := c.H.SizeOf(x)
 				c.cyc.InterGenScanned++
-				c.cyc.AreaScanned += c.H.SizeOf(x)
+				c.cyc.InterGenBytes += size
+				c.cyc.AreaScanned += size
 			}
 		}
 	}

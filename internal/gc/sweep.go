@@ -18,6 +18,56 @@ type sweepState struct {
 	objectsFreed int
 	bytesFreed   int
 	survivors    int
+
+	// Demographics: deaths by allocator size class (the last slot
+	// aggregates large objects), the aging survival histogram indexed
+	// by the age at which the object survived, and the byte volume of
+	// the demoted survivors (the young side of the aging promotion
+	// arithmetic in finishCycle).
+	deathsByClass [heap.NumClasses + 1]int64
+	survivalByAge [maxAgeBuckets]int64
+	survivorBytes int
+}
+
+// maxAgeBuckets bounds the per-age survival histogram. Ages past the
+// last bucket are clamped into it; the tenure threshold is at most 200
+// (Config.OldAge validation), well inside the uint8 age range.
+const maxAgeBuckets = 208
+
+// ageBucket clamps an age into the survival histogram.
+func ageBucket(a uint8) int {
+	if int(a) >= maxAgeBuckets {
+		return maxAgeBuckets - 1
+	}
+	return int(a)
+}
+
+// mergeInto folds this sweeper's counters into the cycle record; the
+// caller (the collector goroutine, after every sweeper finished) owns
+// cyc.
+func (st *sweepState) mergeInto(c *Collector) {
+	c.cyc.ObjectsFreed += st.objectsFreed
+	c.cyc.BytesFreed += st.bytesFreed
+	c.cyc.Survivors += st.survivors
+	c.cyc.SurvivorBytes += st.survivorBytes
+	for i, n := range st.deathsByClass {
+		if n == 0 {
+			continue
+		}
+		if c.cyc.DeathsByClass == nil {
+			c.cyc.DeathsByClass = make([]int64, heap.NumClasses+1)
+		}
+		c.cyc.DeathsByClass[i] += n
+	}
+	for i, n := range st.survivalByAge {
+		if n == 0 {
+			continue
+		}
+		if c.cyc.SurvivalByAge == nil {
+			c.cyc.SurvivalByAge = make([]int64, maxAgeBuckets)
+		}
+		c.cyc.SurvivalByAge[i] += n
+	}
 }
 
 // flush returns the batched dead cells to the heap under one heap-lock
@@ -57,6 +107,10 @@ func (c *Collector) sweepBlockOne(b int, full, aging bool, cc, ac heap.Color, ol
 	}
 	allBlack := true
 	populated := false
+	cls := c.H.BlockClass(b)
+	if cls < 0 || cls >= heap.NumClasses {
+		cls = heap.NumClasses // large-object bucket
+	}
 	c.H.ForEachObjectInBlock(b, func(addr heap.Addr) {
 		// The paper keeps the color in the object header, so
 		// examining an object during sweep touches its page;
@@ -74,17 +128,26 @@ func (c *Collector) sweepBlockOne(b int, full, aging bool, cc, ac heap.Color, ol
 			// link into the cell, touching its heap page.
 			c.H.Pages.TouchHeap(addr, heap.WordBytes)
 			st.objectsFreed++
+			st.deathsByClass[cls]++
 			st.batch = append(st.batch, addr)
 			if len(st.batch) >= freeBatchSize {
 				st.flush(c)
 			}
 		case aging && col != heap.Blue && addr != c.globals:
 			c.H.Pages.TouchAge(addr)
+			// Objects at or past the threshold stay black with their
+			// age frozen: that is the promotion, counted trace-side in
+			// finishCycle (traced young minus the survivors demoted
+			// here — the sweep cannot tell a freshly tenured object
+			// from one tenured cycles ago, but the trace only ever
+			// blackens young ones).
 			if age := c.H.Age(addr); age < oldest {
 				c.H.SetColor(addr, ac)
 				c.H.SetAge(addr, age+1)
 				if col == heap.Black && !full {
 					st.survivors++
+					st.survivorBytes += c.H.SizeOf(addr)
+					st.survivalByAge[ageBucket(age)]++
 				}
 			}
 		}
@@ -125,7 +188,5 @@ func (c *Collector) sweep(full bool) {
 		c.sweepBlockOne(b, full, aging, cc, ac, oldest, st)
 	}
 	st.flush(c)
-	c.cyc.ObjectsFreed += st.objectsFreed
-	c.cyc.BytesFreed += st.bytesFreed
-	c.cyc.Survivors += st.survivors
+	st.mergeInto(c)
 }

@@ -41,6 +41,7 @@ func (c *Collector) markBlack(x heap.Addr) {
 	c.H.SetColor(x, heap.Black)
 	c.cyc.ObjectsScanned++
 	c.cyc.SlotsScanned += slots
+	c.cyc.TraceBytes += c.H.SizeOf(x)
 }
 
 // drainStack traces until the collector's stack is empty, emitting one

@@ -148,6 +148,35 @@ func (h *Histogram) MergeInto(dst *Histogram) {
 	}
 }
 
+// CumulativeLE returns, for each upper bound (in nanoseconds, ascending),
+// how many recorded observations are ≤ that bound — the cumulative
+// bucket counts of a Prometheus histogram exposition. Observations are
+// attributed by their bucket's upper edge, so the result is conservative
+// in the same ≤ ~6% sense as Quantile. The final element of the result
+// is the total count regardless of the last bound (the +Inf bucket).
+func (h *Histogram) CumulativeLE(bounds []int64) []int64 {
+	out := make([]int64, len(bounds)+1)
+	var cum int64
+	j := 0
+	for i := range h.counts {
+		c := h.counts[i].Load()
+		if c == 0 {
+			continue
+		}
+		upper := histUpper(i)
+		for j < len(bounds) && upper > bounds[j] {
+			out[j] = cum
+			j++
+		}
+		cum += c
+	}
+	for ; j < len(bounds); j++ {
+		out[j] = cum
+	}
+	out[len(bounds)] = h.count.Load()
+	return out
+}
+
 // PauseStats condenses one pause histogram into the figures the paper
 // reports: the distribution tail of mutator-visible delay (the paper's
 // maximum-pause claims, Figures 16–21, are the Max column here).

@@ -68,9 +68,39 @@ type Cycle struct {
 	AreaScanned     int // bytes of objects examined on dirty cards
 
 	// Sweep results.
-	ObjectsFreed int
-	BytesFreed   int
-	Survivors    int // objects subject to this collection that survived it
+	ObjectsFreed  int
+	BytesFreed    int
+	Survivors     int // objects subject to this collection that survived it
+	SurvivorBytes int // byte volume of the aging sweep's demoted survivors
+
+	// Heap demographics (generational partial collections; zero
+	// elsewhere). Promotion is counted exactly once per object, from
+	// the trace side: in the simple scheme every young survivor is
+	// promoted (traced objects minus the re-grayed old ones and the
+	// global roots object); in the aging scheme the demoted survivors
+	// the sweep counted are additionally subtracted, leaving the cohort
+	// that reached the tenure threshold and stayed black.
+	PromotedObjects int
+	PromotedBytes   int
+
+	// TraceBytes is the total byte size of the objects the trace
+	// blackened; InterGenBytes the byte size of the old objects the
+	// card scan (or remembered-set drain) re-grayed. Their difference
+	// is the young-survivor byte volume of a simple-mode partial.
+	TraceBytes    int
+	InterGenBytes int
+
+	// SurvivalByAge is the aging sweep's survival histogram: index a
+	// counts the young objects that survived this collection at age a
+	// (then aged to a+1); the final populated index is the tenure
+	// threshold — objects promoted this cycle. Nil outside
+	// GenerationalAging partials.
+	SurvivalByAge []int64
+
+	// DeathsByClass counts the objects this cycle's sweep reclaimed,
+	// by allocator size class; the last entry aggregates large objects
+	// (whole-block allocations). Nil when nothing was freed.
+	DeathsByClass []int64
 
 	// Pages touched by the collector during the cycle (Figure 15);
 	// zero when page tracking is off.
@@ -94,6 +124,80 @@ type Cycle struct {
 	// BarrierFlushes counts batched-barrier buffer drains performed by
 	// mutators while the cycle ran; zero under the eager barrier.
 	BarrierFlushes int64
+}
+
+// Demographics is the run-cumulative heap-demographics aggregate: the
+// per-cycle promotion/survival/death accounting summed over a runtime's
+// whole history. Promotion, survival and the histograms come from
+// generational partial collections only; the card/remset traffic
+// counters likewise accumulate from the partials that scan them.
+type Demographics struct {
+	// Objects and bytes promoted into the old generation.
+	PromotedObjects int64 `json:"promoted_objects"`
+	PromotedBytes   int64 `json:"promoted_bytes"`
+
+	// SurvivedObjects counts young objects that survived a partial
+	// collection (each survival of the same object counts once, so an
+	// aging-mode object surviving three collections contributes 3).
+	SurvivedObjects int64 `json:"survived_objects"`
+
+	// TraceBytes is the byte volume blackened by all traces.
+	TraceBytes int64 `json:"trace_bytes"`
+
+	// Inter-generational pointer traffic: old objects re-scanned for
+	// old→young pointers and their byte volume, dirty/scanned card
+	// counts, and the bytes examined on dirty cards.
+	InterGenScanned int64 `json:"intergen_scanned"`
+	InterGenBytes   int64 `json:"intergen_bytes"`
+	DirtyCards      int64 `json:"dirty_cards"`
+	CardsScanned    int64 `json:"cards_scanned"`
+	AreaScanned     int64 `json:"area_scanned"`
+
+	// DeathsByClass counts swept objects by allocator size class (last
+	// entry: large objects). SurvivalByAge is the aging survival
+	// histogram (index = age at survival; final populated index = the
+	// tenure threshold, i.e. promotions). Nil when never populated.
+	DeathsByClass []int64 `json:"deaths_by_class,omitempty"`
+	SurvivalByAge []int64 `json:"survival_by_age,omitempty"`
+}
+
+// AddCycle folds one finished cycle into the aggregate.
+func (d *Demographics) AddCycle(c Cycle) {
+	if c.Kind == Partial {
+		d.PromotedObjects += int64(c.PromotedObjects)
+		d.PromotedBytes += int64(c.PromotedBytes)
+		d.SurvivedObjects += int64(c.Survivors)
+	}
+	d.TraceBytes += int64(c.TraceBytes)
+	d.InterGenScanned += int64(c.InterGenScanned)
+	d.InterGenBytes += int64(c.InterGenBytes)
+	d.DirtyCards += int64(c.DirtyCards)
+	d.CardsScanned += int64(c.CardsScanned)
+	d.AreaScanned += int64(c.AreaScanned)
+	d.DeathsByClass = addVec(d.DeathsByClass, c.DeathsByClass)
+	d.SurvivalByAge = addVec(d.SurvivalByAge, c.SurvivalByAge)
+}
+
+// Clone returns a deep copy (the histograms are slices).
+func (d Demographics) Clone() Demographics {
+	out := d
+	out.DeathsByClass = append([]int64(nil), d.DeathsByClass...)
+	out.SurvivalByAge = append([]int64(nil), d.SurvivalByAge...)
+	return out
+}
+
+// addVec adds src into dst element-wise, growing dst as needed; a nil
+// src returns dst unchanged.
+func addVec(dst, src []int64) []int64 {
+	if len(src) > len(dst) {
+		grown := make([]int64, len(src))
+		copy(grown, dst)
+		dst = grown
+	}
+	for i, n := range src {
+		dst[i] += n
+	}
+	return dst
 }
 
 // TraceEfficiency reports how evenly the trace work spread over the

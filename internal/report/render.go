@@ -155,6 +155,53 @@ func RenderMutators(w io.Writer, t *Trace, csv bool) {
 	fmt.Fprintln(w)
 }
 
+// RenderDemographics prints the promotion/survival figure of the
+// generational runs: how much each partial tenured, and — in aging mode
+// — the survival histogram showing where the young cohort dies off.
+func RenderDemographics(w io.Writer, t *Trace, csv bool) {
+	s := t.Demographics()
+	fmt.Fprintln(w, "Heap demographics (promotion per partial collection)")
+	if s.Partials == 0 {
+		fmt.Fprintln(w, "  no demographics events in trace (non-generational run?)")
+		fmt.Fprintln(w)
+		return
+	}
+	f := float64(s.Partials)
+	if csv {
+		fmt.Fprintln(w, "partials,promoted_objects,promoted_bytes,avg_promoted_objects,avg_promoted_bytes")
+		fmt.Fprintf(w, "%d,%d,%d,%.1f,%.1f\n", s.Partials,
+			s.PromotedObjects, s.PromotedBytes,
+			float64(s.PromotedObjects)/f, float64(s.PromotedBytes)/f)
+		if len(s.SurvivalByAge) > 0 {
+			fmt.Fprintln(w, "age,survivals")
+			for age, n := range s.SurvivalByAge {
+				if n != 0 {
+					fmt.Fprintf(w, "%d,%d\n", age, n)
+				}
+			}
+		}
+	} else {
+		fmt.Fprintf(w, "  partials=%d promoted=%d objects / %d bytes (avg %.1f obj, %.1f B per partial)\n",
+			s.Partials, s.PromotedObjects, s.PromotedBytes,
+			float64(s.PromotedObjects)/f, float64(s.PromotedBytes)/f)
+		if len(s.SurvivalByAge) > 0 {
+			var total int64
+			for _, n := range s.SurvivalByAge {
+				total += n
+			}
+			fmt.Fprintln(w, "  survival by age (aging mode; last bucket = promotions):")
+			for age, n := range s.SurvivalByAge {
+				if n == 0 {
+					continue
+				}
+				bar := strings.Repeat("#", int(40*float64(n)/float64(total)+0.5))
+				fmt.Fprintf(w, "    age %3d %10d %s\n", age, n, bar)
+			}
+		}
+	}
+	fmt.Fprintln(w)
+}
+
 // RenderSummary prints the one-paragraph header: what the trace holds.
 func RenderSummary(w io.Writer, t *Trace) {
 	var cycles, fulls int
@@ -180,6 +227,11 @@ func RenderSummary(w io.Writer, t *Trace) {
 	fmt.Fprintf(w, "trace: %d events, %d runs, %d cycles (%d full)\n",
 		len(t.Events), t.Runs, cycles, fulls)
 	fmt.Fprintf(w, "  %s\n", strings.Join(parts, " "))
+	for run, meta := range t.Meta() {
+		if meta != "" {
+			fmt.Fprintf(w, "  run %d: %s\n", run, meta)
+		}
+	}
 	if t.Dropped > 0 {
 		fmt.Fprintf(w, "  WARNING: %d events lost to ring overflow\n", t.Dropped)
 	}

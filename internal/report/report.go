@@ -17,6 +17,8 @@ import (
 	"io"
 	"math"
 	"sort"
+	"strconv"
+	"strings"
 	"time"
 
 	"gengc/internal/trace"
@@ -214,6 +216,61 @@ func (t *Trace) Breakdown() []CycleBreakdown {
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Kind < out[j].Kind })
 	return out
+}
+
+// Meta returns each run's metadata string — the key=value pairs the
+// collector stamps into its "start" event (GOMAXPROCS, workers, shards,
+// barrier, mode, module version) — indexed by run. Runs traced before
+// metadata stamping existed, or streams without a leading boundary,
+// yield empty strings.
+func (t *Trace) Meta() []string {
+	meta := make([]string, t.Runs)
+	for _, e := range t.Events {
+		if e.Ev == "start" && e.Run < len(meta) {
+			meta[e.Run] = e.K
+		}
+	}
+	return meta
+}
+
+// DemographicStats aggregates the "demographics" events — the
+// per-partial promotion accounting of the generational modes.
+type DemographicStats struct {
+	Partials        int   // partial cycles that reported demographics
+	PromotedObjects int64 // objects promoted into the old generation
+	PromotedBytes   int64
+	SurvivalByAge   []int64 // aging survival histogram (index = age)
+}
+
+// Demographics sums every demographics event in the trace. The survival
+// histogram stays nil for simple-promotion runs (their events carry no
+// age pairs).
+func (t *Trace) Demographics() DemographicStats {
+	var s DemographicStats
+	for _, e := range t.Events {
+		if e.Ev != "demographics" {
+			continue
+		}
+		s.Partials++
+		s.PromotedObjects += e.N
+		s.PromotedBytes += e.M
+		for _, pair := range strings.Split(e.K, ",") {
+			as, cs, ok := strings.Cut(pair, ":")
+			if !ok {
+				continue
+			}
+			age, err1 := strconv.Atoi(as)
+			n, err2 := strconv.ParseInt(cs, 10, 64)
+			if err1 != nil || err2 != nil || age < 0 {
+				continue
+			}
+			for len(s.SurvivalByAge) <= age {
+				s.SurvivalByAge = append(s.SurvivalByAge, 0)
+			}
+			s.SurvivalByAge[age] += n
+		}
+	}
+	return s
 }
 
 // CardStats aggregates the "cardscan" events — the dirty-card work of

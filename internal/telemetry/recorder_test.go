@@ -1,0 +1,201 @@
+package telemetry
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"gengc/internal/trace"
+)
+
+func ev(i int) trace.Event {
+	return trace.Event{Ev: "pause", N: int64(i), Cycle: int64(i)}
+}
+
+// TestRecorderRingWrap fills the ring past capacity and checks Events
+// returns exactly the last N, oldest first.
+func TestRecorderRingWrap(t *testing.T) {
+	r := NewRecorder(4)
+	for i := 0; i < 3; i++ {
+		r.Emit(ev(i))
+	}
+	got := r.Events()
+	if len(got) != 3 {
+		t.Fatalf("pre-wrap events = %d, want 3", len(got))
+	}
+	for i, e := range got {
+		if e.N != int64(i) {
+			t.Fatalf("pre-wrap event %d has N=%d", i, e.N)
+		}
+	}
+	for i := 3; i < 10; i++ {
+		r.Emit(ev(i))
+	}
+	got = r.Events()
+	if len(got) != 4 {
+		t.Fatalf("post-wrap events = %d, want ring size 4", len(got))
+	}
+	for i, e := range got {
+		if want := int64(6 + i); e.N != want {
+			t.Fatalf("post-wrap event %d has N=%d, want %d (oldest-first)", i, e.N, want)
+		}
+	}
+	if r.EventCount() != 10 {
+		t.Fatalf("EventCount = %d, want 10", r.EventCount())
+	}
+}
+
+// TestRecorderTrigger captures a dump and checks its contents, the
+// snapshot hook, and the rate limiter.
+func TestRecorderTrigger(t *testing.T) {
+	r := NewRecorder(8)
+	r.SetSnapshotFn(func() any { return map[string]int{"cycles": 7} })
+	for i := 0; i < 5; i++ {
+		r.Emit(ev(i))
+	}
+	if !r.Trigger("stall") {
+		t.Fatal("first trigger rate-limited")
+	}
+	d, ok := r.LastDump()
+	if !ok {
+		t.Fatal("no dump after trigger")
+	}
+	if d.Reason != "stall" || len(d.Events) != 5 || d.Snapshot == nil {
+		t.Fatalf("dump = reason %q, %d events, snapshot %v", d.Reason, len(d.Events), d.Snapshot)
+	}
+	if d.TriggeredAt.IsZero() {
+		t.Fatal("dump has zero TriggeredAt")
+	}
+
+	// Within the gap: counted, not captured.
+	if r.Trigger("stall") {
+		t.Fatal("second trigger inside the gap captured a dump")
+	}
+	if r.DumpCount() != 1 || r.TriggerCount() != 2 {
+		t.Fatalf("dumps=%d triggers=%d, want 1/2", r.DumpCount(), r.TriggerCount())
+	}
+
+	// Age the last capture past the gap: the next trigger captures.
+	r.mu.Lock()
+	r.last = time.Now().Add(-2 * minTriggerGap)
+	r.mu.Unlock()
+	if !r.Trigger("oom") {
+		t.Fatal("trigger after the gap rate-limited")
+	}
+	if d, _ := r.LastDump(); d.Reason != "oom" {
+		t.Fatalf("last dump reason %q, want oom", d.Reason)
+	}
+}
+
+// TestRecorderDumpRetention checks only the newest maxDumps captures
+// are retained while DumpCount keeps the lifetime total.
+func TestRecorderDumpRetention(t *testing.T) {
+	r := NewRecorder(2)
+	for i := 0; i < maxDumps+3; i++ {
+		r.Emit(ev(i))
+		r.mu.Lock()
+		r.last = time.Time{} // disarm the rate limiter
+		r.mu.Unlock()
+		if !r.Trigger(fmt.Sprintf("t%d", i)) {
+			t.Fatalf("trigger %d rate-limited", i)
+		}
+	}
+	dumps := r.Dumps()
+	if len(dumps) != maxDumps {
+		t.Fatalf("retained dumps = %d, want %d", len(dumps), maxDumps)
+	}
+	if got := dumps[len(dumps)-1].Reason; got != fmt.Sprintf("t%d", maxDumps+2) {
+		t.Fatalf("newest dump reason %q", got)
+	}
+	if r.DumpCount() != int64(maxDumps+3) {
+		t.Fatalf("DumpCount = %d, want %d", r.DumpCount(), maxDumps+3)
+	}
+}
+
+// TestDumpWriteJSONL serializes a dump and re-parses every line: a
+// flightdump header followed by one trace event per line.
+func TestDumpWriteJSONL(t *testing.T) {
+	r := NewRecorder(8)
+	r.SetSnapshotFn(func() any {
+		return struct {
+			Cycles int `json:"cycles"`
+		}{42}
+	})
+	for i := 0; i < 3; i++ {
+		r.Emit(ev(i))
+	}
+	r.Trigger("manual")
+	d, _ := r.LastDump()
+
+	var buf bytes.Buffer
+	if err := d.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(&buf)
+	if !sc.Scan() {
+		t.Fatal("empty output")
+	}
+	var header struct {
+		Ev       string          `json:"ev"`
+		Reason   string          `json:"reason"`
+		Events   int             `json:"events"`
+		Snapshot json.RawMessage `json:"snapshot"`
+	}
+	if err := json.Unmarshal(sc.Bytes(), &header); err != nil {
+		t.Fatalf("header line: %v", err)
+	}
+	if header.Ev != "flightdump" || header.Reason != "manual" || header.Events != 3 {
+		t.Fatalf("header = %+v", header)
+	}
+	if len(header.Snapshot) == 0 {
+		t.Fatal("header carries no snapshot")
+	}
+	var lines int
+	for sc.Scan() {
+		var e trace.Event
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			t.Fatalf("event line %d: %v", lines, err)
+		}
+		if e.N != int64(lines) {
+			t.Fatalf("event line %d has N=%d", lines, e.N)
+		}
+		lines++
+	}
+	if lines != 3 {
+		t.Fatalf("event lines = %d, want 3", lines)
+	}
+}
+
+// TestRecorderConcurrentRace hammers Emit, Trigger and the readers from
+// independent goroutines; meaningful under -race.
+func TestRecorderConcurrentRace(t *testing.T) {
+	r := NewRecorder(16)
+	r.SetSnapshotFn(func() any { return r.EventCount() })
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				switch i % 4 {
+				case 0:
+					r.Emit(ev(i))
+				case 1:
+					r.Trigger("race")
+				case 2:
+					_ = r.Events()
+				default:
+					_, _ = r.LastDump()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if r.EventCount() == 0 || r.TriggerCount() == 0 {
+		t.Fatalf("counts: events=%d triggers=%d", r.EventCount(), r.TriggerCount())
+	}
+}

@@ -34,7 +34,11 @@ import (
 // Event kinds emitted by the collector (the Ev field):
 //
 //	start     runtime created; marks a run boundary in concatenated
-//	          traces (T is 0 at the runtime's epoch)
+//	          traces (T is 0 at the runtime's epoch). K carries the
+//	          run metadata string when the tracer was built with
+//	          NewWithMeta ("gomaxprocs=8 workers=4 shards=13
+//	          barrier=eager mode=generational version=(devel)"), so
+//	          multi-run concatenations stay labeled
 //	cycle     one whole collection cycle; K = "partial"|"full",
 //	          N = objects scanned, M = objects freed
 //	sync      one handshake round; K = "sync1"|"sync2"|"sync3"
@@ -57,6 +61,11 @@ import (
 //	allocstats the tiered allocator's activity over one cycle (point
 //	          event at cycle end); N = central-shard cache refills,
 //	          M = contended lock acquisitions (shard + page)
+//	demographics one generational partial's promotion/survival record
+//	          (point event at cycle end); N = objects promoted,
+//	          M = bytes promoted, K = the aging survival histogram as
+//	          "age:count,..." pairs (empty in the simple scheme, whose
+//	          every survivor is promoted)
 //	barrierflush one batched-barrier buffer drain; W = mutator id,
 //	          N = deferred shades drained, M = deferred card entries
 //	          drained, K = "handshake"|"full"|"detach" (what forced it)
@@ -177,9 +186,15 @@ type Tracer struct {
 // New starts a tracer over sink and emits the run-boundary "start"
 // event. The epoch for all event timestamps is the moment of creation.
 func New(sink Sink) *Tracer {
+	return NewWithMeta(sink, "")
+}
+
+// NewWithMeta is New with a run-metadata string stamped into the
+// "start" event's K field, labeling this run in concatenated traces.
+func NewWithMeta(sink Sink, meta string) *Tracer {
 	t := &Tracer{sink: sink, epoch: time.Now()}
 	t.mu.Lock()
-	t.safeEmit(Event{Ev: "start"})
+	t.safeEmit(Event{Ev: "start", K: meta})
 	t.mu.Unlock()
 	return t
 }
@@ -352,6 +367,34 @@ func (s *JSONLSink) Flush() error {
 
 // Err returns the first error encountered while writing, if any.
 func (s *JSONLSink) Err() error { return s.err }
+
+// teeSink fans the event stream out to several sinks. A panic in one
+// sink propagates to the Tracer's recover like any single-sink panic;
+// the first Flush error wins.
+type teeSink struct{ sinks []Sink }
+
+// TeeSink returns a sink that duplicates every event (and flush) to
+// each of sinks, in order. Used to feed the flight recorder alongside a
+// configured trace sink.
+func TeeSink(sinks ...Sink) Sink { return &teeSink{sinks: sinks} }
+
+// Emit delivers the event to every sink.
+func (t *teeSink) Emit(e Event) {
+	for _, s := range t.sinks {
+		s.Emit(e)
+	}
+}
+
+// Flush flushes every sink, returning the first error.
+func (t *teeSink) Flush() error {
+	var first error
+	for _, s := range t.sinks {
+		if err := s.Flush(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
 
 // MemorySink collects events in memory; intended for tests and for
 // embedders that post-process a run's events without serializing them.

@@ -163,6 +163,28 @@ func WithPauseHistograms(on bool) Option {
 	return func(c *Config) { c.DisablePauseHistograms = !on }
 }
 
+// WithFlightRecorder arms the anomaly flight recorder with a ring of
+// the last n trace events. The ring records continuously at near-zero
+// cost (it taps the same per-producer ring + cycle-drain path as
+// WithTraceSink, tee'd behind it when both are set); when an anomaly
+// fires — a stall report, an aborted cycle, an allocation giving up
+// with ErrOutOfMemory or ErrStalled, a WithPauseSLO breach — the ring
+// and a Snapshot freeze into a dump retrievable via
+// Runtime.FlightRecorder (and servable by cmd/gcmon's
+// /flightrecorder/dump). Zero (the default) disables the recorder.
+func WithFlightRecorder(n int) Option {
+	return func(c *Config) { c.FlightRecorderEvents = n }
+}
+
+// WithPauseSLO declares a mutator pause service-level objective: every
+// recorded pause longer than d raises Snapshot.SLOBreaches and triggers
+// a flight-recorder dump when one is armed (WithFlightRecorder).
+// Requires pause histograms (the default); zero disables SLO
+// accounting.
+func WithPauseSLO(d time.Duration) Option {
+	return func(c *Config) { c.PauseSLO = d }
+}
+
 // WithStallTimeout sets the handshake watchdog's deadline: when a
 // mutator has not responded to a pending handshake or acknowledgement
 // round within d, the collector reports a stall (the "stall" trace
