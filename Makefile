@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet lint build test race bench bench-json trace-verify chaos check
+.PHONY: all vet lint build test race bench bench-json bench-matrix bench-matrix-smoke trace-verify chaos check
 
 all: check
 
@@ -43,6 +43,19 @@ bench-json:
 	$(GO) run ./cmd/gcbench -experiment alloc -benchjson BENCH_alloc.json
 	$(GO) run ./cmd/gcbench -experiment barrier -barrierjson BENCH_barrier.json
 	$(GO) run ./cmd/gcbench -experiment telemetry -telemetryjson BENCH_telemetry.json
+
+# bench-matrix runs the full contention matrix (cmd/gcsweep): mutators
+# × collector workers × alloc shards × barrier mode × workload
+# contention (churn, Zipf-skewed, auction) into BENCH_matrix.json, with
+# interleaved passes, host-fingerprinted baseline comparison and
+# structural sanity checks (exit 2 on regressions — see BENCHMARKS.md
+# and EXPERIMENTS.md §4). The smoke variant is the seconds-long CI
+# subset of the same sweep.
+bench-matrix:
+	$(GO) run ./cmd/gcsweep -o BENCH_matrix.json
+
+bench-matrix-smoke:
+	$(GO) run ./cmd/gcsweep -smoke -o BENCH_matrix.json
 
 # chaos runs a short fixed-seed fault-injection campaign under the race
 # detector: every schedule (stalls, slow workers, transient OOM, the

@@ -126,6 +126,13 @@ type AllocStats struct {
 	PerShard                   []ShardStats
 }
 
+// Contended is the total count of contended lock acquisitions across
+// tiers — the scalar the contention matrix (cmd/gcsweep) records per
+// cell as alloc_contended.
+func (a AllocStats) Contended() int64 {
+	return a.ShardContended + a.PageContended
+}
+
 // AllocStats snapshots the tiered allocator's counters.
 func (h *Heap) AllocStats() AllocStats {
 	a := AllocStats{
