@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet lint build test race bench bench-json bench-matrix bench-matrix-smoke trace-verify chaos check
+.PHONY: all vet lint build test race bench bench-json bench-matrix bench-matrix-smoke bench-server bench-server-smoke trace-verify chaos check
 
 all: check
 
@@ -56,6 +56,20 @@ bench-matrix:
 
 bench-matrix-smoke:
 	$(GO) run ./cmd/gcsweep -smoke -o BENCH_matrix.json
+
+# bench-server runs the server-mode overload experiment (cmd/gcserve):
+# the request engine under an open-loop Poisson arrival sweep at
+# multiples of a capacity calibrated on this host, admission controller
+# on vs naive, into BENCH_server.json. The host-independent gate (exit
+# 2) requires the admitted legs to shed with bounded p99.9 and zero OOM
+# while the naive top-rate leg measurably breaches the SLO or OOMs —
+# see BENCHMARKS.md and EXPERIMENTS.md §5. The smoke variant is the
+# seconds-long CI subset (one underload + one overload pair).
+bench-server:
+	$(GO) run ./cmd/gcserve -o BENCH_server.json
+
+bench-server-smoke:
+	$(GO) run ./cmd/gcserve -smoke -o BENCH_server.json
 
 # chaos runs a short fixed-seed fault-injection campaign under the race
 # detector: every schedule (stalls, slow workers, transient OOM, the

@@ -404,3 +404,46 @@ func TestDetachHandshakeRace(t *testing.T) {
 	}
 	rt.Close()
 }
+
+// TestAllocCtxCancelledBetweenRetries cancels the context while the
+// allocation slow path is part-way through its bounded OOM retry
+// budget. The errors.go contract for ErrStalled must hold on this path
+// too: the error wraps both ErrStalled and the context's error, the
+// call returns promptly instead of burning the remaining retries, and
+// it does not get misreported as ErrOutOfMemory.
+func TestAllocCtxCancelledBetweenRetries(t *testing.T) {
+	in := NewFaultInjector(13)
+	// Every allocation reports transient OOM, so the slow path loops
+	// collect-and-retry; the huge retry budget guarantees cancellation
+	// lands mid-budget, not after ErrOutOfMemory gave up.
+	in.Install(FaultRule{Point: FaultAlloc, Kind: FaultFail})
+	rt, err := New(WithMode(Generational), WithHeapBytes(4<<20),
+		WithFaultInjector(in), WithAllocRetries(1000),
+		WithStallTimeout(10*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	m := rt.NewMutator()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	time.AfterFunc(20*time.Millisecond, cancel)
+	start := time.Now()
+	_, err = m.AllocCtx(ctx, 1, 0)
+	waited := time.Since(start)
+	if err == nil {
+		t.Fatal("AllocCtx succeeded although every allocation faults")
+	}
+	if errors.Is(err, ErrOutOfMemory) {
+		t.Fatalf("err = %v: cancellation burned the retry budget into ErrOutOfMemory", err)
+	}
+	if !errors.Is(err, ErrStalled) {
+		t.Fatalf("err = %v, want ErrStalled in chain", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled in chain", err)
+	}
+	if waited > 5*time.Second {
+		t.Fatalf("AllocCtx returned %v after a 20ms cancellation", waited)
+	}
+}

@@ -3,8 +3,9 @@
 // schedules — stalled safe points, slow trace workers and sweep shards,
 // transient allocation failures, allocation storms against the tiered
 // allocation path (at the default per-class shards and the degenerate
-// single lock), a failing trace sink, and a close racing live
-// allocators — with the full invariant battery (Verify,
+// single lock), a failing trace sink, a close racing live allocators,
+// and a server-mode arrival storm against the admission controller
+// (serverstorm: shed, don't panic) — with the full invariant battery (Verify,
 // the card invariant, and the per-cycle self-check) auditing every
 // round. The fault schedule is a pure function of -seed, so a failing
 // campaign reruns identically.
@@ -15,6 +16,7 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
@@ -27,6 +29,7 @@ import (
 	"time"
 
 	"gengc"
+	"gengc/internal/server"
 )
 
 func parseMode(s string) (gengc.Mode, error) {
@@ -456,6 +459,86 @@ func runCloseRace(seed int64, mode gengc.Mode, mutators int) []string {
 	return violations
 }
 
+// runServerStorm is the overload leg: the admission-controlled request
+// engine of internal/server runs an open-loop arrival storm well past
+// the faulted runtime's capacity — injected safe-point stalls wedge
+// collections while transient allocation failures and per-allocation
+// delays slow every request. Graceful degradation is the assertion: the
+// controller must shed the excess (never panic, never OOM), requests
+// must still complete, and the flight recorder must have frozen at
+// least one dump for the breach window.
+func runServerStorm(seed int64, mode gengc.Mode, workers int) []string {
+	in := gengc.NewFaultInjector(seed)
+	in.Install(gengc.FaultRule{Point: gengc.FaultCooperate, Kind: gengc.FaultDelay,
+		P: 0.02, Delay: 2 * time.Millisecond})
+	in.Install(gengc.FaultRule{Point: gengc.FaultAlloc, Kind: gengc.FaultFail, P: 0.005})
+	in.Install(gengc.FaultRule{Point: gengc.FaultAlloc, Kind: gengc.FaultDelay,
+		P: 1, Delay: 20 * time.Microsecond})
+	rt, err := gengc.New(
+		gengc.WithMode(mode),
+		gengc.WithHeapBytes(12<<20),
+		gengc.WithYoungBytes(256<<10),
+		gengc.WithWorkers(workers),
+		gengc.WithSelfCheck(true),
+		gengc.WithStallTimeout(8*time.Millisecond),
+		gengc.WithAllocRetries(8),
+		gengc.WithFlightRecorder(256),
+		gengc.WithRequestSLO(25*time.Millisecond),
+		gengc.WithAdmission(gengc.AdmissionConfig{
+			MaxInFlight: 8, MaxQueue: 16, QueueTimeout: 5 * time.Millisecond}),
+		gengc.WithFaultInjector(in),
+	)
+	if err != nil {
+		log.Fatalf("serverstorm: %v", err)
+	}
+	srv := server.New(rt, server.Config{
+		Workers: 4, MaxRetries: 2, RetryBackoff: time.Millisecond, Seed: seed})
+	load := server.RunLoad(context.Background(), srv, server.LoadConfig{
+		StartRate:   5000,
+		Duration:    400 * time.Millisecond,
+		BurstEvery:  100 * time.Millisecond,
+		BurstLen:    25 * time.Millisecond,
+		BurstFactor: 3,
+		LowFraction: 0.3,
+		// The deadline is generous relative to the 5ms queue timeout so
+		// admitted requests survive race-detector slowdown: the storm's
+		// assertion is "shed the excess, complete the admitted", and a
+		// too-tight deadline would starve the second half on slow hosts.
+		Template: server.Request{Objects: 64, Slots: 2, Size: 128,
+			Deadline: 100 * time.Millisecond},
+		Seed: seed,
+	})
+	var violations []string
+	drainCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := srv.Drain(drainCtx); err != nil {
+		violations = append(violations, fmt.Sprintf("serverstorm: drain: %v", err))
+		return violations
+	}
+	st := srv.Stats()
+	if st.Shed == 0 {
+		violations = append(violations, fmt.Sprintf(
+			"serverstorm: %d offered arrivals but nothing shed — the storm never saturated admission",
+			load.Offered))
+	}
+	if st.Completed == 0 {
+		violations = append(violations, "serverstorm: no request completed under the storm")
+	}
+	if st.FailedOOM > 0 {
+		violations = append(violations, fmt.Sprintf(
+			"serverstorm: %d OOM failures — admission must shed before the heap gives out", st.FailedOOM))
+	}
+	if fr := rt.FlightRecorder(); fr == nil || fr.DumpCount() == 0 {
+		violations = append(violations,
+			"serverstorm: sheds fired but the flight recorder froze no dump for the breach window")
+	}
+	snap := rt.Snapshot()
+	fmt.Printf("%-9s cycles=%-4d fulls=%-3d stalls=%-3d offered=%-6d done=%-6d shed=%-6d degraded=%d\n",
+		"serverstorm", snap.Cycles, snap.Fulls, snap.Stalls,
+		load.Offered, st.Completed, st.Shed, snap.Admission.DegradedEnters)
+	return violations
+}
+
 func main() {
 	var (
 		modeStr  = flag.String("mode", "gen", "collector: non|gen|aging")
@@ -482,6 +565,7 @@ func main() {
 			runSchedule(s, *seed*1000003+int64(i), mode, *mutators, *rounds, *ops, *workers, *verbose)...)
 	}
 	violations = append(violations, runCloseRace(*seed*1000003+997, mode, *mutators)...)
+	violations = append(violations, runServerStorm(*seed*1000003+1009, mode, *workers)...)
 
 	if len(violations) > 0 {
 		fmt.Fprintf(os.Stderr, "gcchaos: %d violation(s):\n", len(violations))

@@ -39,6 +39,7 @@ import (
 func main() {
 	var (
 		addr    = flag.String("addr", ":8080", "HTTP listen address")
+		conns   = flag.Int("maxconns", 64, "maximum simultaneous HTTP connections")
 		modeStr = flag.String("mode", "gen", "collector: non|gen|aging")
 		threads = flag.Int("threads", 4, "churn mutator threads")
 		workers = flag.Int("workers", 1, "parallel collector workers")
@@ -131,7 +132,10 @@ func main() {
 		}
 	}()
 
-	log.Printf("gcmon: serving /metrics, /snapshot, /flightrecorder/dump on %s (%d churn threads, mode %v)",
-		*addr, *threads, mode)
-	log.Fatal(http.ListenAndServe(*addr, mux))
+	log.Printf("gcmon: serving /metrics, /snapshot, /flightrecorder/dump on %s (%d churn threads, mode %v, max %d conns)",
+		*addr, *threads, mode, *conns)
+	// Hardened serving: read/header/write timeouts plus a connection
+	// cap, so a stalled scraper or connection flood cannot wedge the
+	// observability path of the process it is meant to watch.
+	log.Fatal(gengc.ListenAndServeHardened(*addr, mux, *conns))
 }

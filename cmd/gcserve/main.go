@@ -1,0 +1,156 @@
+// Command gcserve runs the server-mode overload experiment: the
+// request engine of internal/server under an open-loop Poisson load
+// generator, swept across offered arrival rates (expressed as multiples
+// of a capacity calibrated on this host) with the admission controller
+// armed and then naive, writing the versioned BENCH_server.json report
+// (schema: BENCHMARKS.md §server; methodology: EXPERIMENTS.md).
+//
+// Usage:
+//
+//	gcserve                      # the full sweep -> BENCH_server.json
+//	gcserve -smoke               # tiny CI sweep, seconds not minutes
+//	gcserve -mults 1,2,4 -dur 1s # custom overload multiples
+//
+// The point of the experiment is graceful degradation: at >= 2x the
+// sustainable rate the admitted leg must keep goodput flowing while
+// shedding the excess with a bounded completed-request p99.9 and zero
+// OOM failures, and the naive leg must visibly misbehave (unbounded
+// queueing breaches the request SLO, or the heap gives out). The
+// regression gate compares the two legs' behavior classes rather than
+// absolute latencies, so it holds on any host.
+//
+// Exit codes: 0 = clean, 1 = error, 2 = the report flagged regressions
+// (the gate failed; the JSON artifact is still written for CI upload).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"gengc/internal/bench"
+)
+
+func main() {
+	var (
+		out     = flag.String("o", "BENCH_server.json", "output path of the JSON report")
+		smoke   = flag.Bool("smoke", false, "tiny CI sweep (seconds): short windows, fewer rates")
+		mults   = flag.String("mults", "", "offered-rate multiples of calibrated capacity (default 0.5,1,2,4)")
+		dur     = flag.Duration("dur", 0, "load window per cell (0 = default 2s)")
+		workers = flag.Int("workers", 0, "request workers (0 = default 4)")
+		slo     = flag.Duration("slo", 0, "request latency SLO (0 = default 50ms)")
+		heap    = flag.Int("heap", 0, "heap bytes (0 = default 12MiB)")
+		objects = flag.Int("objects", 0, "objects allocated per request (0 = default 96)")
+		seed    = flag.Int64("seed", 0, "load schedule seed (0 = default 1)")
+		quiet   = flag.Bool("q", false, "suppress per-cell progress")
+	)
+	flag.Parse()
+
+	if err := run(*out, *smoke, *mults, *dur, *workers, *slo, *heap,
+		*objects, *seed, *quiet); err != nil {
+		fmt.Fprintln(os.Stderr, "gcserve:", err)
+		if err == errRegression {
+			os.Exit(2)
+		}
+		os.Exit(1)
+	}
+}
+
+// errRegression marks a sweep that completed (and wrote its report) but
+// failed the gate; main exits 2 so CI can fail while still collecting
+// the artifact.
+var errRegression = fmt.Errorf("regressions flagged (see the JSON report)")
+
+func run(out string, smoke bool, mults string, dur time.Duration,
+	workers int, slo time.Duration, heap, objects int, seed int64, quiet bool) error {
+	opts := bench.ServerOptions{
+		Duration:  dur,
+		Workers:   workers,
+		SLO:       slo,
+		HeapBytes: heap,
+		Objects:   objects,
+		Seed:      seed,
+	}
+	if smoke {
+		// The CI preset: one underload and one overload pair, short
+		// windows. The gate still applies in full — the overload
+		// contrast shows up within a few hundred milliseconds.
+		opts.Multipliers = []float64{0.5, 3}
+		if opts.Duration == 0 {
+			opts.Duration = 600 * time.Millisecond
+		}
+	}
+	if mults != "" {
+		var err error
+		if opts.Multipliers, err = parseFloats(mults); err != nil {
+			return err
+		}
+	}
+	logf := func(format string, args ...any) {
+		fmt.Printf(format+"\n", args...)
+	}
+	if quiet {
+		logf = nil
+	}
+	rep, err := bench.RunServer(opts, logf)
+	if err != nil {
+		return err
+	}
+
+	printReport(rep)
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Println("wrote", out)
+	if len(rep.Regressions) > 0 {
+		return errRegression
+	}
+	return nil
+}
+
+func parseFloats(s string) ([]float64, error) {
+	var outs []float64
+	for _, f := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad multiplier %q: %w", f, err)
+		}
+		if v <= 0 {
+			return nil, fmt.Errorf("multiplier %q must be positive", f)
+		}
+		outs = append(outs, v)
+	}
+	return outs, nil
+}
+
+func printReport(rep *bench.ServerReport) {
+	fmt.Printf("\nserver overload sweep — %s — capacity %.0f req/s (SLO %v, %d workers, heap %d MiB)\n",
+		rep.Host.Fingerprint(), rep.CapacityPerSec, time.Duration(rep.SLONs),
+		rep.WorkersConf, rep.HeapBytes>>20)
+	fmt.Printf("%-6s %-10s %-9s %-10s %-8s %-8s %-6s %-12s %-12s %-9s %s\n",
+		"mult", "rate/s", "admission", "goodput/s", "offered", "done", "shed",
+		"p99", "p99.9", "breaches", "oom")
+	for _, c := range rep.Cells {
+		fmt.Printf("%-6.2g %-10.0f %-9v %-10.0f %-8d %-8d %-6d %-12v %-12v %-9d %d\n",
+			c.Multiplier, c.RatePerSec, c.Admission, c.GoodputPerSec,
+			c.Offered, c.Completed, c.Shed,
+			time.Duration(c.P99Ns).Round(time.Microsecond),
+			time.Duration(c.P999Ns).Round(time.Microsecond),
+			c.SLOBreaches, c.FailedOOM)
+	}
+	for _, f := range rep.Findings {
+		fmt.Println("finding:", f)
+	}
+	for _, r := range rep.Regressions {
+		fmt.Println("REGRESSION:", r)
+	}
+}

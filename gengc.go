@@ -56,6 +56,7 @@ import (
 	"expvar"
 	"fmt"
 	"io"
+	"time"
 
 	"gengc/internal/gc"
 	"gengc/internal/heap"
@@ -170,6 +171,37 @@ type FlightDump = telemetry.Dump
 // acknowledgement rounds, allocation stalls). Mutator is the mutator id,
 // or -1 for the fleet-wide aggregate.
 type PauseStats = metrics.PauseStats
+
+// AdmissionConfig parameterizes the admission controller armed with
+// WithAdmission; zero fields assume the defaults.
+type AdmissionConfig = gc.AdmissionConfig
+
+// AdmissionStats is the admission controller's counter snapshot
+// (Snapshot.Admission): admitted/shed totals broken down by shed cause,
+// caller-reported retries, degraded-mode transitions and the live
+// queue/in-flight gauges. Enabled is false — and everything else zero —
+// without WithAdmission.
+type AdmissionStats = gc.AdmissionStats
+
+// Admission is the runtime's admission controller handle (see
+// Runtime.Admission): Admit/Release bracket one unit of work, NoteRetry
+// reports a transient-failure retry, BeginDrain stops admission for
+// shutdown.
+type Admission = gc.Admission
+
+// Priority classifies a request for the admission controller's degraded
+// mode: PriorityLow requests are shed while the runtime is degraded,
+// PriorityHigh requests still queue.
+type Priority = gc.Priority
+
+const (
+	// PriorityLow marks best-effort requests — the first to go when
+	// the runtime degrades.
+	PriorityLow = gc.PriorityLow
+	// PriorityHigh marks requests that must be served while the
+	// runtime has any capacity at all.
+	PriorityHigh = gc.PriorityHigh
+)
 
 // Runtime owns one heap and its collector — the analogue of one JVM
 // instance in the paper's experiments.
@@ -313,6 +345,22 @@ type Snapshot struct {
 	// (always zero without one).
 	SLOBreaches int64
 
+	// Admission is the admission controller's counter snapshot:
+	// admitted/shed totals by cause, degraded-mode state and the live
+	// queue/in-flight gauges. Enabled is false without WithAdmission.
+	Admission AdmissionStats
+
+	// RequestLatency summarizes the end-to-end request-latency
+	// histogram fed by ObserveRequest (Mutator == -1): per-request
+	// latency as the client saw it — queue wait, allocation work and
+	// retries included — distinct from the per-pause histograms above.
+	// Zero-valued unless WithRequestSLO or WithAdmission is set.
+	RequestLatency PauseStats
+
+	// RequestSLOBreaches counts ObserveRequest observations that
+	// exceeded WithRequestSLO (always zero without one).
+	RequestSLOBreaches int64
+
 	// FlightRecorderDumps counts anomaly captures the flight recorder
 	// has taken (zero without WithFlightRecorder).
 	FlightRecorderDumps int64
@@ -338,6 +386,10 @@ func (r *Runtime) Snapshot() Snapshot {
 		Demographics:  r.c.DemographicStats(),
 		PromotionRate: r.c.Pacer().PromotionRate(),
 		SLOBreaches:   r.c.SLOBreaches(),
+
+		Admission:          r.c.AdmissionStats(),
+		RequestLatency:     r.c.RequestStats(),
+		RequestSLOBreaches: r.c.RequestSLOBreaches(),
 	}
 	if fr := r.c.FlightRecorder(); fr != nil {
 		s.FlightRecorderDumps = fr.DumpCount()
@@ -349,6 +401,19 @@ func (r *Runtime) Snapshot() Snapshot {
 // WithFlightRecorder, or nil. Its Dumps/LastDump methods return the
 // frozen captures; Trigger forces a manual capture.
 func (r *Runtime) FlightRecorder() *FlightRecorder { return r.c.FlightRecorder() }
+
+// Admission returns the admission controller armed with WithAdmission,
+// or nil. Embedders bracket each unit of work with Admit (which may
+// return an error wrapping ErrShed) and Release; internal/server does
+// this for its request engine.
+func (r *Runtime) Admission() *Admission { return r.c.Admission() }
+
+// ObserveRequest records one end-to-end request latency into the
+// request-latency histogram (Snapshot.RequestLatency) and enforces
+// WithRequestSLO: a breach is counted and triggers a flight-recorder
+// dump when one is armed. A no-op unless WithRequestSLO or
+// WithAdmission enabled request accounting. Safe from any goroutine.
+func (r *Runtime) ObserveRequest(d time.Duration) { r.c.ObserveRequest(d) }
 
 // PublishExpvar exposes the runtime's Snapshot under name in the
 // process-wide expvar registry (so it shows up on /debug/vars). It

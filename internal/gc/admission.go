@@ -1,0 +1,399 @@
+package gc
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gengc/internal/trace"
+)
+
+// ErrShed is wrapped by admissions the controller rejected: the queue
+// was full, the queue wait timed out (or the caller's context expired
+// in the queue), the runtime was degraded and the request was
+// low-priority, or the runtime was draining. Callers distinguish the
+// class with errors.Is and must treat it as backpressure — drop or
+// retry elsewhere, never spin.
+var ErrShed = errors.New("request shed")
+
+// Priority classifies a request for the admission controller's degraded
+// mode: when the pacer reports the heap over the red-line watermark or
+// allocation deadlines slipping, PriorityLow requests are shed at the
+// door while PriorityHigh requests still queue. With a healthy runtime
+// the two are admitted identically.
+type Priority int
+
+const (
+	PriorityLow Priority = iota
+	PriorityHigh
+)
+
+func (p Priority) String() string {
+	switch p {
+	case PriorityLow:
+		return "low"
+	case PriorityHigh:
+		return "high"
+	}
+	return "invalid"
+}
+
+// AdmissionConfig parameterizes the admission controller (Config.
+// Admission; the gengc facade sets it via WithAdmission). The zero
+// value of each field selects the default.
+type AdmissionConfig struct {
+	// MaxInFlight bounds concurrently admitted requests — the
+	// controller's token pool. Default 64.
+	MaxInFlight int
+
+	// MaxQueue bounds requests waiting for an in-flight token; a
+	// request arriving with the queue full is shed immediately
+	// (ErrShed) instead of waiting. Default 256.
+	MaxQueue int
+
+	// QueueTimeout bounds how long an admitted-queue wait may last
+	// before the request is shed. A caller context with an earlier
+	// deadline shortens the wait further (deadline-aware shedding: a
+	// request that cannot meet its deadline anyway is shed now, while
+	// retrying it is still cheap). Default 50ms.
+	QueueTimeout time.Duration
+
+	// RedLine is the heap-occupancy watermark, as a fraction of the
+	// emergency full-collection bound (FullThreshold·HeapBytes), above
+	// which the controller enters degraded mode and sheds PriorityLow
+	// requests. 0.9 (the default) means "degrade at 90% of the
+	// occupancy that would force an emergency full collection" — shed
+	// before OOM, never after.
+	RedLine float64
+
+	// SlipWindow is how long after an allocation-deadline slip
+	// (AllocCtx expiring in the allocation slow path, or an OOM
+	// give-up) the controller stays in degraded mode. Default 250ms.
+	SlipWindow time.Duration
+}
+
+// withDefaults fills unset admission fields.
+func (a AdmissionConfig) withDefaults() AdmissionConfig {
+	if a.MaxInFlight == 0 {
+		a.MaxInFlight = 64
+	}
+	if a.MaxQueue == 0 {
+		a.MaxQueue = 256
+	}
+	if a.QueueTimeout == 0 {
+		a.QueueTimeout = 50 * time.Millisecond
+	}
+	if a.RedLine == 0 {
+		a.RedLine = 0.9
+	}
+	if a.SlipWindow == 0 {
+		a.SlipWindow = 250 * time.Millisecond
+	}
+	return a
+}
+
+// validate rejects admission configurations the controller cannot run.
+func (a AdmissionConfig) validate() error {
+	if a.MaxInFlight < 1 || a.MaxInFlight > 1<<20 {
+		return fmt.Errorf("gc: %w: admission in-flight bound %d out of [1,%d]", ErrInvalidConfig, a.MaxInFlight, 1<<20)
+	}
+	if a.MaxQueue < 0 || a.MaxQueue > 1<<20 {
+		return fmt.Errorf("gc: %w: admission queue bound %d out of [0,%d]", ErrInvalidConfig, a.MaxQueue, 1<<20)
+	}
+	if a.QueueTimeout < 0 {
+		return fmt.Errorf("gc: %w: negative admission queue timeout %v", ErrInvalidConfig, a.QueueTimeout)
+	}
+	if a.RedLine <= 0 || a.RedLine > 1 {
+		return fmt.Errorf("gc: %w: admission red-line %v out of (0,1]", ErrInvalidConfig, a.RedLine)
+	}
+	if a.SlipWindow < 0 {
+		return fmt.Errorf("gc: %w: negative admission slip window %v", ErrInvalidConfig, a.SlipWindow)
+	}
+	return nil
+}
+
+// AdmissionStats is the controller's cumulative-counter snapshot
+// (Snapshot.Admission in the facade).
+type AdmissionStats struct {
+	// Enabled reports whether an admission controller is armed at all;
+	// every other field is zero when it is not.
+	Enabled bool
+
+	// Admitted counts requests granted an in-flight token; Shed is the
+	// sum of the four shed classes below.
+	Admitted int64
+	Shed     int64
+
+	// ShedQueueFull counts requests rejected at the door because
+	// MaxQueue waiters were already queued; ShedTimeout counts queue
+	// waits cut short by QueueTimeout or the caller's context;
+	// ShedDegraded counts PriorityLow requests rejected while the
+	// runtime was degraded; ShedDraining counts requests rejected
+	// after BeginDrain.
+	ShedQueueFull int64
+	ShedTimeout   int64
+	ShedDegraded  int64
+	ShedDraining  int64
+
+	// Retries counts transient-failure retries reported by callers
+	// (NoteRetry — the server's ErrStalled retry loop).
+	Retries int64
+
+	// DegradedEnters counts transitions into degraded mode; Degraded
+	// is the current state.
+	DegradedEnters int64
+	Degraded       bool
+
+	// Queued and InFlight are instantaneous gauges.
+	Queued   int64
+	InFlight int64
+}
+
+// Admission is the runtime's admission controller: a bounded in-flight
+// token pool with a bounded, deadline-aware wait queue in front of it,
+// plus a degraded mode driven by the pacer's occupancy and deadline-slip
+// signals. It exists to convert overload into prompt, cheap rejections
+// (ErrShed) instead of unbounded queueing, SLO collapse, or OOM.
+//
+// The controller is deliberately runtime-level rather than server-level:
+// it reads the pacer directly, so any embedder — not just
+// internal/server — gets the same shed-before-OOM policy.
+type Admission struct {
+	c   *Collector
+	cfg AdmissionConfig
+
+	// tokens holds MaxInFlight tokens; Admit takes one, Release
+	// returns it. A buffered channel rather than a semaphore count so
+	// queue waits can select on it against the timeout, the caller's
+	// context and drain.
+	tokens chan struct{}
+
+	// drainCh is closed by BeginDrain so queued waiters shed promptly
+	// instead of waiting out their timers against a draining runtime.
+	drainCh   chan struct{}
+	draining  atomic.Bool
+	drainOnce sync.Once
+
+	degraded atomic.Bool
+
+	queued   atomic.Int64
+	inflight atomic.Int64
+
+	admitted       atomic.Int64
+	shedQueueFull  atomic.Int64
+	shedTimeout    atomic.Int64
+	shedDegraded   atomic.Int64
+	shedDraining   atomic.Int64
+	retries        atomic.Int64
+	degradedEnters atomic.Int64
+
+	// lastDump rate-limits flight-recorder triggers from the shed path
+	// (unixnano): a storm of sheds is exactly when flushing the tracer
+	// per event would hurt.
+	lastDump atomic.Int64
+
+	// ring is the controller's trace-event buffer. Rings are SPSC;
+	// Admit runs on arbitrary caller goroutines, so emission is
+	// serialized by the mutex.
+	ring struct {
+		sync.Mutex
+		r *trace.Ring
+	}
+}
+
+// newAdmission builds the controller. cfg must already have defaults
+// applied and be validated (Config.withDefaults/validate do both).
+func newAdmission(c *Collector, cfg AdmissionConfig) *Admission {
+	a := &Admission{
+		c:       c,
+		cfg:     cfg,
+		tokens:  make(chan struct{}, cfg.MaxInFlight),
+		drainCh: make(chan struct{}),
+	}
+	for i := 0; i < cfg.MaxInFlight; i++ {
+		a.tokens <- struct{}{}
+	}
+	if c.tracer != nil {
+		a.ring.r = c.tracer.NewRing()
+	}
+	return a
+}
+
+// Admit asks for an in-flight token for one request of priority pri.
+// It returns nil when the request may proceed (the caller must call
+// Release exactly once when done) and an error wrapping ErrShed when
+// the request is rejected. The wait is bounded by QueueTimeout, the
+// context's deadline, and drain — whichever comes first.
+func (a *Admission) Admit(ctx context.Context, pri Priority) error {
+	if a.draining.Load() {
+		a.shedDraining.Add(1)
+		a.noteShed("draining", pri)
+		return fmt.Errorf("gc: admission: draining: %w", ErrShed)
+	}
+	if a.refreshDegraded() && pri == PriorityLow {
+		a.shedDegraded.Add(1)
+		a.noteShed("degraded", pri)
+		return fmt.Errorf("gc: admission: degraded mode: %w", ErrShed)
+	}
+	// Fast path: a token is free, no queueing.
+	select {
+	case <-a.tokens:
+		a.admitted.Add(1)
+		a.inflight.Add(1)
+		return nil
+	default:
+	}
+	if a.queued.Load() >= int64(a.cfg.MaxQueue) {
+		a.shedQueueFull.Add(1)
+		a.noteShed("queuefull", pri)
+		return fmt.Errorf("gc: admission: queue full: %w", ErrShed)
+	}
+	a.queued.Add(1)
+	defer a.queued.Add(-1)
+
+	// Deadline-aware wait bound: never wait past the caller's own
+	// deadline — a request that would miss it anyway is cheaper to
+	// shed now, while the client can still retry elsewhere.
+	wait := a.cfg.QueueTimeout
+	if dl, ok := ctx.Deadline(); ok {
+		if rem := time.Until(dl); rem < wait {
+			wait = rem
+		}
+	}
+	if wait <= 0 {
+		a.shedTimeout.Add(1)
+		a.noteShed("timeout", pri)
+		return fmt.Errorf("gc: admission: deadline exhausted in queue: %w", ErrShed)
+	}
+	timer := time.NewTimer(wait)
+	defer timer.Stop()
+	select {
+	case <-a.tokens:
+		a.admitted.Add(1)
+		a.inflight.Add(1)
+		return nil
+	case <-timer.C:
+		a.shedTimeout.Add(1)
+		a.noteShed("timeout", pri)
+		return fmt.Errorf("gc: admission: queue wait exceeded %v: %w", wait, ErrShed)
+	case <-ctx.Done():
+		a.shedTimeout.Add(1)
+		a.noteShed("timeout", pri)
+		return fmt.Errorf("gc: admission: %w: %w", ErrShed, ctx.Err())
+	case <-a.drainCh:
+		a.shedDraining.Add(1)
+		a.noteShed("draining", pri)
+		return fmt.Errorf("gc: admission: draining: %w", ErrShed)
+	}
+}
+
+// Release returns an in-flight token. Exactly one Release per
+// successful Admit; the channel has capacity for every token, so this
+// never blocks.
+func (a *Admission) Release() {
+	a.inflight.Add(-1)
+	a.tokens <- struct{}{}
+}
+
+// NoteRetry records one transient-failure retry performed by a caller
+// holding a token (the server's jittered-backoff ErrStalled loop), so
+// retry pressure is visible next to shed pressure.
+func (a *Admission) NoteRetry() { a.retries.Add(1) }
+
+// BeginDrain stops admission permanently: subsequent Admit calls shed
+// with reason "draining" and queued waiters are released to shed
+// promptly. In-flight requests are unaffected — the caller flushes
+// them (internal/server's Drain) and then stops the runtime.
+// Collector.Stop also calls this, so a bare Close sheds instead of
+// stranding late arrivals.
+func (a *Admission) BeginDrain() {
+	if a.draining.CompareAndSwap(false, true) {
+		a.drainOnce.Do(func() { close(a.drainCh) })
+	}
+}
+
+// Draining reports whether BeginDrain has been called.
+func (a *Admission) Draining() bool { return a.draining.Load() }
+
+// Degraded reports whether the controller is currently in degraded
+// mode (refreshing the state from the pacer first, so pollers see the
+// live verdict, not the last Admit's).
+func (a *Admission) Degraded() bool { return a.refreshDegraded() }
+
+// refreshDegraded recomputes degraded mode from the pacer's two
+// robustness signals — heap occupancy against the red-line watermark
+// and recent allocation-deadline slips — and emits the enter/exit
+// transition events.
+func (a *Admission) refreshDegraded() bool {
+	deg := a.c.pacer.OccupancyRatio() >= a.cfg.RedLine ||
+		a.c.pacer.SlipWithin(a.cfg.SlipWindow)
+	if deg {
+		if a.degraded.CompareAndSwap(false, true) {
+			a.degradedEnters.Add(1)
+			a.emit("degraded", "enter", 0)
+			a.dump("degraded")
+		}
+	} else if a.degraded.CompareAndSwap(true, false) {
+		a.emit("degraded", "exit", 0)
+	}
+	return deg
+}
+
+// noteShed emits the trace event and (rate-limited) flight-recorder
+// trigger for one shed request.
+func (a *Admission) noteShed(reason string, pri Priority) {
+	a.emit("shed", reason, int64(pri))
+	a.dump("shed")
+}
+
+// emit publishes one admission event. Worker -1 marks events not
+// attributable to a mutator; N carries the request priority.
+func (a *Admission) emit(ev, kind string, n int64) {
+	a.ring.Lock()
+	defer a.ring.Unlock()
+	if a.ring.r == nil {
+		return
+	}
+	a.ring.r.Emit(trace.Event{
+		Ev:     ev,
+		T:      a.c.tracer.Rel(time.Now()),
+		Worker: -1,
+		N:      n,
+		K:      kind,
+	})
+}
+
+// dump triggers a flight-recorder capture, rate-limited to one per
+// second on the admission side: Collector.triggerDump flushes the whole
+// tracer, which must not run per-request during a shed storm.
+func (a *Admission) dump(reason string) {
+	now := time.Now().UnixNano()
+	last := a.lastDump.Load()
+	if now-last < int64(time.Second) || !a.lastDump.CompareAndSwap(last, now) {
+		return
+	}
+	a.c.triggerDump(reason)
+}
+
+// Stats snapshots the controller's counters.
+func (a *Admission) Stats() AdmissionStats {
+	sqf, st := a.shedQueueFull.Load(), a.shedTimeout.Load()
+	sd, sdr := a.shedDegraded.Load(), a.shedDraining.Load()
+	return AdmissionStats{
+		Enabled:        true,
+		Admitted:       a.admitted.Load(),
+		Shed:           sqf + st + sd + sdr,
+		ShedQueueFull:  sqf,
+		ShedTimeout:    st,
+		ShedDegraded:   sd,
+		ShedDraining:   sdr,
+		Retries:        a.retries.Load(),
+		DegradedEnters: a.degradedEnters.Load(),
+		Degraded:       a.degraded.Load(),
+		Queued:         a.queued.Load(),
+		InFlight:       a.inflight.Load(),
+	}
+}

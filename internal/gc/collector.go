@@ -164,6 +164,20 @@ type Collector struct {
 	// Config.PauseSLO.
 	sloBreaches atomic.Int64
 
+	// admission is the armed admission controller (nil unless
+	// Config.Admission is set).
+	admission *Admission
+
+	// reqHist is the per-request latency histogram fed by
+	// ObserveRequest (nil unless request accounting is on: a
+	// RequestSLO or an admission controller); reqSLOBreaches counts
+	// observations over Config.RequestSLO, and reqSLODump rate-limits
+	// their flight-recorder triggers (unixnano — a breach storm must
+	// not flush the tracer per request).
+	reqHist        *metrics.Histogram
+	reqSLOBreaches atomic.Int64
+	reqSLODump     atomic.Int64
+
 	// demo accumulates run-cumulative heap demographics, folded in by
 	// the collector goroutine at the end of every cycle; readers take
 	// the mutex (DemographicStats).
@@ -276,6 +290,12 @@ func New(cfg Config) (*Collector, error) {
 		c.clearColor.Store(uint32(heap.Yellow))
 	}
 	c.pacer = newPacer(cfg, h.SizeBytes)
+	if cfg.Admission != nil {
+		c.admission = newAdmission(c, *cfg.Admission)
+	}
+	if cfg.RequestSLO > 0 || cfg.Admission != nil {
+		c.reqHist = &metrics.Histogram{}
+	}
 	c.reqCh = make(chan struct{}, 1)
 	c.stopCh = make(chan struct{})
 	c.doneCh = make(chan struct{})
@@ -354,6 +374,11 @@ func (c *Collector) Start() {
 // ever freed on the strength of an incomplete trace (the aborted
 // cycle's floating garbage is irrelevant at shutdown).
 func (c *Collector) Stop() {
+	if c.admission != nil {
+		// Late arrivals shed with a clean "draining" error instead of
+		// queueing against a runtime that is going away.
+		c.admission.BeginDrain()
+	}
 	c.closed.Store(true)
 	c.stopOnce.Do(func() { close(c.stopCh) })
 	if c.started.Load() {
@@ -451,6 +476,56 @@ func (c *Collector) FlightRecorder() *telemetry.Recorder { return c.recorder }
 // SLOBreaches returns how many recorded pauses exceeded the configured
 // PauseSLO (always zero without one).
 func (c *Collector) SLOBreaches() int64 { return c.sloBreaches.Load() }
+
+// Admission returns the armed admission controller, or nil when
+// Config.Admission was not set.
+func (c *Collector) Admission() *Admission { return c.admission }
+
+// AdmissionStats snapshots the admission controller's counters (the
+// zero value, Enabled false, without one).
+func (c *Collector) AdmissionStats() AdmissionStats {
+	if c.admission == nil {
+		return AdmissionStats{}
+	}
+	return c.admission.Stats()
+}
+
+// ObserveRequest records one end-to-end request latency — queue wait
+// plus allocation work plus retries, measured by the embedding server —
+// into the request histogram, and enforces the RequestSLO: a breach is
+// counted and triggers a (rate-limited) flight-recorder dump. A no-op
+// unless request accounting is on (RequestSLO or Admission configured).
+func (c *Collector) ObserveRequest(d time.Duration) {
+	if c.reqHist == nil {
+		return
+	}
+	c.reqHist.Record(d)
+	if slo := c.cfg.RequestSLO; slo > 0 && d > slo {
+		c.reqSLOBreaches.Add(1)
+		now := time.Now().UnixNano()
+		if last := c.reqSLODump.Load(); now-last >= int64(time.Second) &&
+			c.reqSLODump.CompareAndSwap(last, now) {
+			c.triggerDump("requestslo")
+		}
+	}
+}
+
+// RequestSLOBreaches returns how many observed request latencies
+// exceeded the configured RequestSLO.
+func (c *Collector) RequestSLOBreaches() int64 { return c.reqSLOBreaches.Load() }
+
+// RequestStats condenses the request-latency histogram (Mutator -1: a
+// fleet-wide aggregate). Zero-valued when request accounting is off.
+func (c *Collector) RequestStats() metrics.PauseStats {
+	if c.reqHist == nil {
+		return metrics.PauseStats{Mutator: -1}
+	}
+	return c.reqHist.Stats(-1)
+}
+
+// RequestHistogram returns the request-latency histogram, or nil when
+// request accounting is off (metrics exposition reads the buckets).
+func (c *Collector) RequestHistogram() *metrics.Histogram { return c.reqHist }
 
 // DemographicStats returns the run-cumulative heap demographics.
 func (c *Collector) DemographicStats() metrics.Demographics {

@@ -283,6 +283,23 @@ type Config struct {
 	// one is armed. Requires pause histograms (the default).
 	PauseSLO time.Duration
 
+	// RequestSLO, when positive, is the per-request latency objective:
+	// every latency fed to Collector.ObserveRequest longer than this is
+	// counted (RequestSLOBreaches) and triggers a flight-recorder dump
+	// when one is armed. This is end-to-end request accounting — queue
+	// wait plus allocation plus retries — distinct from the per-pause
+	// histograms (PAPERS.md, "Distilling the Real Cost of Production
+	// Garbage Collectors": the honest metric is per-request latency,
+	// not per-pause time).
+	RequestSLO time.Duration
+
+	// Admission, when non-nil, arms the admission controller
+	// (admission.go): a bounded in-flight token pool with a bounded,
+	// deadline-aware queue and a degraded mode driven by the pacer's
+	// occupancy/slip signals. Nil — the default — means every request
+	// is admitted unconditionally (Collector.Admission returns nil).
+	Admission *AdmissionConfig
+
 	// DisablePauseHistograms turns off per-mutator pause accounting.
 	// By default every mutator records its handshake/root-marking and
 	// allocation-stall delays into a log-linear histogram (reported by
@@ -328,6 +345,10 @@ func (c Config) withDefaults() Config {
 	if c.AllocRetries == 0 {
 		c.AllocRetries = 3
 	}
+	if c.Admission != nil {
+		a := c.Admission.withDefaults()
+		c.Admission = &a
+	}
 	return c
 }
 
@@ -372,6 +393,14 @@ func (c Config) validate() error {
 	}
 	if c.PauseSLO > 0 && c.DisablePauseHistograms {
 		return fmt.Errorf("gc: %w: a pause SLO requires pause histograms", ErrInvalidConfig)
+	}
+	if c.RequestSLO < 0 {
+		return fmt.Errorf("gc: %w: negative request SLO %v", ErrInvalidConfig, c.RequestSLO)
+	}
+	if c.Admission != nil {
+		if err := c.Admission.validate(); err != nil {
+			return err
+		}
 	}
 	if c.Barrier < BarrierEager || c.Barrier > BarrierBatched {
 		return fmt.Errorf("gc: %w: invalid barrier mode %d", ErrInvalidConfig, int(c.Barrier))

@@ -449,6 +449,16 @@ func (m *Mutator) AllocCtx(ctx context.Context, slots, size int) (heap.Addr, err
 func (m *Mutator) alloc(ctx context.Context, slots, size int) (heap.Addr, error) {
 	for attempt := 0; ; attempt++ {
 		if err := ctx.Err(); err != nil {
+			if attempt > 0 {
+				// Cancellation landing between OOM retries is still an
+				// allocation stall — the AllocCtx contract promises an
+				// error wrapping both ErrStalled and ctx.Err(), and the
+				// remaining retry budget must not be burned first.
+				m.c.pacer.NoteSlip()
+				m.c.triggerDump("allocstall")
+				return 0, fmt.Errorf("gc: mutator %d: allocation: %w (%w)",
+					m.id, ErrStalled, err)
+			}
 			return 0, fmt.Errorf("gc: mutator %d: allocation: %w", m.id, err)
 		}
 		if m.c.closed.Load() {
@@ -478,6 +488,7 @@ func (m *Mutator) alloc(ctx context.Context, slots, size int) (heap.Addr, error)
 			return addr, nil
 		}
 		if attempt >= m.c.cfg.AllocRetries {
+			m.c.pacer.NoteSlip()
 			m.c.triggerDump("oom")
 			return 0, fmt.Errorf("gc: mutator %d: %w after %d full collections", m.id, err, attempt)
 		}
@@ -506,6 +517,15 @@ func (m *Mutator) alloc(ctx context.Context, slots, size int) (heap.Addr, error)
 func (m *Mutator) waitForFullCollection(ctx context.Context, attempt int) error {
 	pauseAt := m.pauseStart()
 	defer m.recordPause(pauseAt, "allocwait")
+	// Feed the pacer's slow-path wait EWMA — the admission controller's
+	// view of how expensive allocation stalls currently are. pauseAt is
+	// zero when neither histograms nor tracing are on; sample the clock
+	// ourselves then.
+	waitStart := pauseAt
+	if waitStart.IsZero() {
+		waitStart = time.Now()
+	}
+	defer func() { m.c.pacer.NoteAllocWait(time.Since(waitStart)) }()
 	m.c.fullWaiters.Add(1)
 	defer m.c.fullWaiters.Add(-1)
 	start := m.c.fullsDone.Load()
@@ -523,6 +543,7 @@ func (m *Mutator) waitForFullCollection(ctx context.Context, attempt int) error 
 			return fmt.Errorf("gc: mutator %d: full collection wait: %w", m.id, ErrClosed)
 		}
 		if err := ctx.Err(); err != nil {
+			m.c.pacer.NoteSlip()
 			m.c.triggerDump("allocstall")
 			return fmt.Errorf("gc: mutator %d: full collection wait: %w (%w)",
 				m.id, ErrStalled, err)

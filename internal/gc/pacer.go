@@ -3,6 +3,7 @@ package gc
 import (
 	"math"
 	"sync/atomic"
+	"time"
 )
 
 // Trigger is the pacer's verdict on one allocation: whether the
@@ -66,6 +67,17 @@ type Pacer struct {
 	promotionRate atomic.Uint64
 	promotedBytes atomic.Int64
 	promotionSeen atomic.Bool
+
+	// Robustness signals for the admission controller (admission.go):
+	// slips counts allocation-deadline misses (an AllocCtx expiring in
+	// the slow path, or an OOM give-up) with lastSlip the unixnano of
+	// the most recent one, and allocWait is an EWMA of how long
+	// allocation slow-path waits lasted (float64 nanoseconds, stored
+	// as a bit pattern like promotionRate).
+	slips         atomic.Int64
+	lastSlip      atomic.Int64
+	allocWait     atomic.Uint64
+	allocWaitSeen atomic.Bool
 }
 
 // promotionAlpha is the EWMA weight of the newest partial's observed
@@ -220,6 +232,66 @@ func (p *Pacer) PromotedBytes() int64 { return p.promotedBytes.Load() }
 
 // OldAge returns the current tenure threshold.
 func (p *Pacer) OldAge() int { return int(p.dynOldAge.Load()) }
+
+// Occupancy returns the pacer's current allocated-bytes estimate. It
+// can overshoot the true value between reconcile points (see the type
+// comment) — conservative in the right direction for a shed-before-OOM
+// watermark.
+func (p *Pacer) Occupancy() int64 { return p.occupancy.Load() }
+
+// OccupancyRatio returns occupancy as a fraction of the emergency
+// full-collection bound (FullThreshold·heap): 1.0 means the next
+// allocation trips the emergency trigger. The admission controller's
+// red-line watermark is expressed in this unit.
+func (p *Pacer) OccupancyRatio() float64 {
+	if p.emergency <= 0 {
+		return 0
+	}
+	return float64(p.occupancy.Load()) / float64(p.emergency)
+}
+
+// NoteSlip records one allocation-deadline miss: an AllocCtx whose
+// context expired while waiting for a full collection, or an
+// allocation that exhausted its retry budget (OOM give-up).
+func (p *Pacer) NoteSlip() {
+	p.slips.Add(1)
+	p.lastSlip.Store(time.Now().UnixNano())
+}
+
+// Slips returns the lifetime allocation-deadline miss count.
+func (p *Pacer) Slips() int64 { return p.slips.Load() }
+
+// SlipWithin reports whether an allocation deadline slipped within the
+// last window — the admission controller's "deadlines are slipping
+// right now" predicate.
+func (p *Pacer) SlipWithin(window time.Duration) bool {
+	last := p.lastSlip.Load()
+	return last != 0 && time.Now().UnixNano()-last <= int64(window)
+}
+
+// NoteAllocWait folds one allocation slow-path wait into the EWMA
+// (same seeding and weight as the promotion-rate estimate).
+func (p *Pacer) NoteAllocWait(d time.Duration) {
+	ns := float64(d.Nanoseconds())
+	if !p.allocWaitSeen.Swap(true) {
+		p.allocWait.Store(math.Float64bits(ns))
+		return
+	}
+	for {
+		old := p.allocWait.Load()
+		next := math.Float64bits(promotionAlpha*ns +
+			(1-promotionAlpha)*math.Float64frombits(old))
+		if p.allocWait.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// AllocWaitEWMA returns the smoothed allocation slow-path wait (0 until
+// the first wait completes).
+func (p *Pacer) AllocWaitEWMA() time.Duration {
+	return time.Duration(math.Float64frombits(p.allocWait.Load()))
+}
 
 // NoteSurvival implements the DynamicTenure policy after a partial
 // collection: high young survival suggests objects need more time to

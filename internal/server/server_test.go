@@ -1,0 +1,205 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"gengc"
+)
+
+func testRuntime(t *testing.T, opts ...gengc.Option) *gengc.Runtime {
+	t.Helper()
+	rt, err := gengc.New(append([]gengc.Option{
+		gengc.WithMode(gengc.Generational),
+		gengc.WithHeapBytes(16 << 20),
+		gengc.WithYoungBytes(1 << 20),
+	}, opts...)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rt
+}
+
+func TestServerCompletesRequests(t *testing.T) {
+	rt := testRuntime(t,
+		gengc.WithAdmission(gengc.AdmissionConfig{}),
+		gengc.WithRequestSLO(time.Second))
+	s := New(rt, Config{Workers: 2})
+	const n = 200
+	for i := 0; i < n; i++ {
+		if err := s.Submit(Request{Objects: 32, Slots: 2, Size: 64,
+			Deadline: time.Second}); err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+	}
+	if err := s.Drain(context.Background()); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	st := s.Stats()
+	if st.Completed != n || st.FailedOOM != 0 || st.FailedStalled != 0 {
+		t.Fatalf("stats: %+v, want %d completed and no failures", st, n)
+	}
+	snap := rt.Snapshot()
+	if snap.RequestLatency.Count != n {
+		t.Fatalf("request histogram count = %d, want %d", snap.RequestLatency.Count, n)
+	}
+	if snap.Admission.Admitted != n {
+		t.Fatalf("admitted = %d, want %d", snap.Admission.Admitted, n)
+	}
+}
+
+func TestServerDrainRejectsLateSubmits(t *testing.T) {
+	rt := testRuntime(t, gengc.WithAdmission(gengc.AdmissionConfig{}))
+	s := New(rt, Config{Workers: 1})
+	if err := s.Submit(Request{Objects: 8, Slots: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Drain(context.Background()); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	err := s.Submit(Request{Objects: 8, Slots: 1})
+	if !errors.Is(err, gengc.ErrClosed) {
+		t.Fatalf("submit after drain: err = %v, want ErrClosed", err)
+	}
+	// Idempotent.
+	if err := s.Drain(context.Background()); err != nil {
+		t.Fatalf("second drain: %v", err)
+	}
+	if st := s.Stats(); st.Completed != 1 || st.Rejected != 1 {
+		t.Fatalf("stats: %+v, want Completed 1 Rejected 1", st)
+	}
+}
+
+func TestServerRetriesTransientStalls(t *testing.T) {
+	// Every allocation faults transiently 3 times total; with the
+	// runtime's own retry budget at 1, the first request fails with
+	// ErrStalled-like pressure unless the server's retry loop reruns
+	// it. Use a fault rule that fails allocation a fixed number of
+	// times, then stops.
+	in := gengc.NewFaultInjector(11)
+	in.Install(gengc.FaultRule{Point: gengc.FaultAlloc, Kind: gengc.FaultFail, Count: 2})
+	rt := testRuntime(t, gengc.WithFaultInjector(in),
+		gengc.WithAdmission(gengc.AdmissionConfig{}))
+	s := New(rt, Config{Workers: 1, MaxRetries: 3, RetryBackoff: time.Millisecond})
+	if err := s.Submit(Request{Objects: 4, Slots: 1, Deadline: 5 * time.Second}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Drain(context.Background()); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	st := s.Stats()
+	if st.Completed != 1 {
+		t.Fatalf("stats: %+v, want the faulted request completed", st)
+	}
+}
+
+func TestServerShedsWhenSaturated(t *testing.T) {
+	// One in-flight token, no queue capacity to speak of, and slow
+	// requests (every allocation pays an injected delay): a burst must
+	// shed, not queue without bound.
+	in := gengc.NewFaultInjector(5)
+	in.Install(gengc.FaultRule{Point: gengc.FaultAlloc, Kind: gengc.FaultDelay,
+		Delay: 50 * time.Microsecond})
+	rt := testRuntime(t, gengc.WithFaultInjector(in),
+		gengc.WithAdmission(gengc.AdmissionConfig{
+			MaxInFlight: 1, MaxQueue: 1, QueueTimeout: 5 * time.Millisecond}))
+	s := New(rt, Config{Workers: 1})
+	var shed, ok int
+	for i := 0; i < 50; i++ {
+		err := s.Submit(Request{Objects: 256, Slots: 2, Size: 64})
+		switch {
+		case err == nil:
+			ok++
+		case errors.Is(err, gengc.ErrShed):
+			shed++
+		default:
+			t.Fatalf("submit %d: %v", i, err)
+		}
+	}
+	if shed == 0 {
+		t.Fatalf("no submissions shed (ok=%d)", ok)
+	}
+	if err := s.Drain(context.Background()); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	st := s.Stats()
+	if st.Shed != int64(shed) || st.Completed != int64(ok) {
+		t.Fatalf("stats %+v, want shed %d completed %d", st, shed, ok)
+	}
+}
+
+func TestLoadgenOpenLoopSchedule(t *testing.T) {
+	rt := testRuntime(t, gengc.WithAdmission(gengc.AdmissionConfig{}))
+	s := New(rt, Config{Workers: 2})
+	stats := RunLoad(context.Background(), s, LoadConfig{
+		StartRate: 400,
+		Duration:  250 * time.Millisecond,
+		Template:  Request{Objects: 16, Slots: 2, Size: 64, Deadline: time.Second},
+		Seed:      3,
+	})
+	// Poisson with mean ~100 arrivals; accept a wide band.
+	if stats.Offered < 30 || stats.Offered > 300 {
+		t.Fatalf("offered = %d arrivals for a 400/s * 0.25s run", stats.Offered)
+	}
+	if err := s.Drain(context.Background()); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	st := s.Stats()
+	if st.Submitted != stats.Offered {
+		t.Fatalf("submitted %d != offered %d", st.Submitted, stats.Offered)
+	}
+	if st.Completed == 0 {
+		t.Fatal("no requests completed")
+	}
+}
+
+func TestLoadgenBurstRaisesRate(t *testing.T) {
+	base := rateAt(LoadConfig{StartRate: 100, Duration: time.Second,
+		BurstEvery: 100 * time.Millisecond, BurstLen: 20 * time.Millisecond,
+		BurstFactor: 5}, 105*time.Millisecond)
+	quiet := rateAt(LoadConfig{StartRate: 100, Duration: time.Second,
+		BurstEvery: 100 * time.Millisecond, BurstLen: 20 * time.Millisecond,
+		BurstFactor: 5}, 50*time.Millisecond)
+	if base != 500 || quiet != 100 {
+		t.Fatalf("burst rate = %v quiet rate = %v, want 500/100", base, quiet)
+	}
+	ramp := rateAt(LoadConfig{StartRate: 100, EndRate: 300,
+		Duration: time.Second}, 500*time.Millisecond)
+	if ramp < 199 || ramp > 201 {
+		t.Fatalf("mid-ramp rate = %v, want ~200", ramp)
+	}
+}
+
+// TestServerStressParallelSubmit rides the race-detector subset: many
+// goroutines submitting against a small admitted pool while the
+// collector cycles, then a drain racing late submissions.
+func TestServerStressParallelSubmit(t *testing.T) {
+	rt := testRuntime(t, gengc.WithAdmission(gengc.AdmissionConfig{
+		MaxInFlight: 8, MaxQueue: 16, QueueTimeout: 10 * time.Millisecond}))
+	s := New(rt, Config{Workers: 4})
+	done := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		go func() {
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				_ = s.Submit(Request{Objects: 64, Slots: 2, Size: 64,
+					Deadline: 100 * time.Millisecond})
+			}
+		}()
+	}
+	time.Sleep(200 * time.Millisecond)
+	close(done)
+	if err := s.Drain(context.Background()); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	st := s.Stats()
+	if st.Completed == 0 {
+		t.Fatalf("stats %+v: nothing completed", st)
+	}
+}

@@ -112,6 +112,41 @@ func (r *Runtime) writeMetrics(b *strings.Builder) {
 
 	writePauseHistogram(b, r)
 
+	if s.Admission.Enabled {
+		adm := s.Admission
+		counter(b, "gengc_admission_admitted_total", "Requests granted an in-flight token by the admission controller.", adm.Admitted)
+		help(b, "gengc_admission_shed_total", "Requests shed by the admission controller, by cause.", "counter")
+		fmt.Fprintf(b, "gengc_admission_shed_total{cause=\"queuefull\"} %d\n", adm.ShedQueueFull)
+		fmt.Fprintf(b, "gengc_admission_shed_total{cause=\"timeout\"} %d\n", adm.ShedTimeout)
+		fmt.Fprintf(b, "gengc_admission_shed_total{cause=\"degraded\"} %d\n", adm.ShedDegraded)
+		fmt.Fprintf(b, "gengc_admission_shed_total{cause=\"draining\"} %d\n", adm.ShedDraining)
+		counter(b, "gengc_admission_retries_total", "Transient-failure retries reported by admitted requests.", adm.Retries)
+		counter(b, "gengc_admission_degraded_entries_total", "Transitions into degraded mode.", adm.DegradedEnters)
+		gauge(b, "gengc_admission_degraded", "1 while the admission controller is in degraded mode.", boolGauge(adm.Degraded))
+		gauge(b, "gengc_admission_queued", "Requests currently waiting for an in-flight token.", adm.Queued)
+		gauge(b, "gengc_admission_inflight", "Requests currently holding an in-flight token.", adm.InFlight)
+	}
+	if h := r.c.RequestHistogram(); h != nil {
+		help(b, "gengc_request_seconds", "End-to-end request latencies observed via ObserveRequest (queue wait + allocation + retries).", "histogram")
+		cum := h.CumulativeLE(pauseBucketBounds)
+		for i, bound := range pauseBucketBounds {
+			fmt.Fprintf(b, "gengc_request_seconds_bucket{le=%q} %d\n",
+				formatSeconds(bound), cum[i])
+		}
+		fmt.Fprintf(b, "gengc_request_seconds_bucket{le=\"+Inf\"} %d\n", cum[len(pauseBucketBounds)])
+		fmt.Fprintf(b, "gengc_request_seconds_sum %s\n", formatSeconds(int64(h.Total())))
+		fmt.Fprintf(b, "gengc_request_seconds_count %d\n", h.Count())
+		help(b, "gengc_request_quantile_seconds", "Bucketed request-latency quantiles (upper bucket edge, <=6% relative error).", "gauge")
+		for _, q := range []struct {
+			label string
+			q     float64
+		}{{"0.5", 0.50}, {"0.99", 0.99}, {"0.999", 0.999}} {
+			fmt.Fprintf(b, "gengc_request_quantile_seconds{q=%q} %s\n",
+				q.label, formatSeconds(int64(h.Quantile(q.q))))
+		}
+		counter(b, "gengc_request_slo_breaches_total", "Observed request latencies exceeding the configured request SLO.", s.RequestSLOBreaches)
+	}
+
 	counter(b, "gengc_pause_slo_breaches_total", "Recorded pauses exceeding the configured pause SLO.", s.SLOBreaches)
 	if fr := r.c.FlightRecorder(); fr != nil {
 		counter(b, "gengc_flight_recorder_dumps_total", "Flight-recorder dumps captured.", fr.DumpCount())

@@ -221,6 +221,33 @@ func WithFaultInjector(in *FaultInjector) Option {
 	return func(c *Config) { c.Fault = in }
 }
 
+// WithAdmission arms the runtime's admission controller: a bounded
+// in-flight token pool (cfg.MaxInFlight) with a bounded, deadline-aware
+// wait queue (cfg.MaxQueue, cfg.QueueTimeout) in front of it, plus a
+// degraded mode — driven by the pacer's heap-occupancy red-line
+// (cfg.RedLine, a fraction of the emergency full-collection bound) and
+// recent allocation-deadline slips (cfg.SlipWindow) — that sheds
+// low-priority requests while the runtime is in trouble. Rejections
+// wrap ErrShed; counters surface in Snapshot.Admission and the
+// Prometheus exposition. Zero fields of cfg assume the defaults (64
+// in-flight, 256 queued, 50ms queue timeout, 0.9 red-line, 250ms slip
+// window). The controller sheds *before* the heap reaches the
+// emergency trigger — backpressure instead of ErrOutOfMemory.
+func WithAdmission(cfg AdmissionConfig) Option {
+	return func(c *Config) { c.Admission = &cfg }
+}
+
+// WithRequestSLO declares a per-request latency objective for request
+// latencies fed to Runtime.ObserveRequest: each observation is recorded
+// into the request-latency histogram (Snapshot.RequestLatency — end to
+// end, distinct from the per-pause histograms), and every observation
+// longer than d raises Snapshot.RequestSLOBreaches and triggers a
+// flight-recorder dump when one is armed. Zero disables the SLO but
+// WithAdmission alone still enables the request histogram.
+func WithRequestSLO(d time.Duration) Option {
+	return func(c *Config) { c.RequestSLO = d }
+}
+
 // buildConfig folds the options over a zero Config (whose zero fields
 // later assume the paper's defaults).
 func buildConfig(opts []Option) Config {
