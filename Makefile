@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet lint build test race bench bench-json bench-matrix bench-matrix-smoke bench-server bench-server-smoke trace-verify chaos check
+.PHONY: all vet lint build test race bench bench-json bench-matrix bench-matrix-smoke bench-server bench-server-smoke trace-verify chaos verify-protocol check
 
 all: check
 
@@ -71,6 +71,27 @@ bench-server:
 bench-server-smoke:
 	$(GO) run ./cmd/gcserve -smoke -o BENCH_server.json
 
+# verify-protocol runs the deterministic protocol-verification harness
+# (cmd/gcverify, internal/modelcheck). Positive leg: every named
+# scenario's interleavings are enumerated bounded-exhaustively
+# (preemption bound 1, depth 400) under the virtual scheduler and must
+# be violation-free. Negative leg: re-introducing the historical
+# flush-before-ack ordering bug must be caught with a minimized
+# schedule, and the written replay must reproduce the violation when
+# re-executed — the harness has to be able to find the bug class it
+# exists for, or a green positive leg means nothing.
+verify-protocol:
+	$(GO) run ./cmd/gcverify -scenario all
+	@tmp=$$(mktemp -d); rc=0; \
+	if $(GO) run ./cmd/gcverify -scenario flush-vs-ack -break flush-before-ack -out $$tmp/replay.json >$$tmp/neg.txt 2>&1; then \
+		echo "verify-protocol: FAILED — re-introduced flush-before-ack bug was not caught"; cat $$tmp/neg.txt; rc=1; \
+	elif $(GO) run ./cmd/gcverify -replay $$tmp/replay.json >$$tmp/rep.txt 2>&1; then \
+		echo "verify-protocol: FAILED — replay did not reproduce the violation"; cat $$tmp/rep.txt; rc=1; \
+	else \
+		echo "verify-protocol: OK (bug caught, minimized, and replay reproduced)"; \
+	fi; \
+	rm -rf $$tmp; exit $$rc
+
 # chaos runs a short fixed-seed fault-injection campaign under the race
 # detector: every schedule (stalls, slow workers, transient OOM, the
 # allocstorm campaigns against the tiered allocation path, failing sink,
@@ -98,4 +119,4 @@ trace-verify:
 	|| { rc=$$?; echo "trace-verify: FAILED"; cat $$tmp/report.txt $$tmp/batched.txt 2>/dev/null; }; \
 	rm -rf $$tmp; exit $$rc
 
-check: lint build test race chaos trace-verify
+check: lint build test race chaos trace-verify verify-protocol

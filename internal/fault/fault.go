@@ -1,12 +1,23 @@
-// Package fault is a deterministic, seeded fault-injection layer for
-// the collector's chaos testing. Named injection points are threaded
+// Package fault names the runtime's coordination seams and provides
+// two consumers for them.
+//
+// The first is the deterministic, seeded fault-injection layer for the
+// collector's chaos testing: named injection points are threaded
 // through the runtime's coordination seams (handshake posting and
 // acknowledgement, safe-point cooperation, trace-worker stealing, sweep
 // shards, allocation, trace-sink writes, batched-barrier buffer
-// flushes); an armed Injector decides at
+// flushes, card and remembered-set scans); an armed Injector decides at
 // each hit whether to delay the caller, drop the operation once, or
 // fail it, with a configured probability drawn from a reproducible
 // per-point PRNG stream.
+//
+// The second is the Scheduler interface: the same points double as the
+// schedulable steps of a deterministic virtual scheduler
+// (internal/modelcheck), which parks the calling goroutine at every
+// point and replays systematically enumerated interleavings. Each call
+// site in the collector is one combined injection/yield point — the
+// production build holds a nil Injector and a nil Scheduler and pays
+// two pointer comparisons per site.
 //
 // Determinism: every injection point owns its own PRNG stream, derived
 // from the campaign seed and the point's identity. The k-th hit at a
@@ -77,6 +88,33 @@ const (
 	// their Delay).
 	BarrierFlush
 
+	// CardScan fires once per dirty card inside the §7.2 window: the
+	// card's mark has been cleared (step 1) but its objects are not yet
+	// scanned (step 2). Delay-only; armed only when a scheduler or
+	// injector is installed, so the production scan loop stays branch-
+	// free per card.
+	CardScan
+
+	// TraceDrain fires once per object the serial trace pops from the
+	// collector's mark stack (delay only). Like CardScan it is guarded
+	// by an armed-seam check hoisted out of the drain loop.
+	TraceDrain
+
+	// RemsetDrain fires once per remembered-set buffer the collector
+	// drains at the start of a remembered-set partial collection
+	// (delay only) — the inter-generational re-scan ordering seam.
+	RemsetDrain
+
+	// HandshakeWait and AckWait are scheduler wait points, not
+	// injection points: the collector parks on them while waiting for
+	// every mutator to respond to a posted status or acknowledgement
+	// epoch. The chaos injector never evaluates them (the real
+	// scheduler's spin loop has its own watchdog and backoff); the
+	// virtual scheduler blocks the collector actor on them until its
+	// readiness predicate holds.
+	HandshakeWait
+	AckWait
+
 	// NumPoints is the number of injection points.
 	NumPoints
 )
@@ -99,8 +137,43 @@ func (p Point) String() string {
 		return "sink-write"
 	case BarrierFlush:
 		return "barrier-flush"
+	case CardScan:
+		return "card-scan"
+	case TraceDrain:
+		return "trace-drain"
+	case RemsetDrain:
+		return "remset-drain"
+	case HandshakeWait:
+		return "handshake-wait"
+	case AckWait:
+		return "ack-wait"
 	}
 	return fmt.Sprintf("point(%d)", int(p))
+}
+
+// Scheduler is the deterministic-scheduler seam. When the collector is
+// configured with one (gc.Config.Scheduler), every injection point
+// becomes a schedulable step: the calling actor announces the point it
+// reached and blocks until the scheduler resumes it with a Decision,
+// and the collector's wait loops block on Wait instead of spinning.
+//
+// The contract assumed by the collector:
+//
+//   - Step may block the calling goroutine arbitrarily long; the
+//     returned Decision is interpreted exactly like an Injector
+//     decision at the same point (Drop/Fail are honored only where the
+//     injector honors them).
+//   - Wait blocks until ready() holds or the run is being abandoned; a
+//     false return tells the caller to give up the wait, which the
+//     collector maps onto its existing close-abort path (abortCycle).
+//     ready must be safe to call from the scheduler's goroutine.
+//
+// Implementations serialize execution — at most one actor runs between
+// parks — so neither method needs an actor identity parameter: the
+// scheduler knows whom it resumed.
+type Scheduler interface {
+	Step(p Point) Decision
+	Wait(p Point, ready func() bool) bool
 }
 
 // Kind is what a rule does to the operation when it fires.

@@ -168,6 +168,11 @@ func TestPointAndKindStrings(t *testing.T) {
 		Alloc:         "alloc",
 		SinkWrite:     "sink-write",
 		BarrierFlush:  "barrier-flush",
+		CardScan:      "card-scan",
+		TraceDrain:    "trace-drain",
+		RemsetDrain:   "remset-drain",
+		HandshakeWait: "handshake-wait",
+		AckWait:       "ack-wait",
 	}
 	if len(want) != int(NumPoints) {
 		t.Fatalf("test covers %d points, NumPoints = %d", len(want), NumPoints)

@@ -171,12 +171,13 @@ func (m *Mutator) flushBarrier(reason string) {
 		return
 	}
 	c := m.c
-	if in := c.flt; in != nil {
-		// Delay-only (fault.BarrierFlush): dropping a flush and then
-		// acknowledging would un-publish shades the trace-termination
-		// check relies on, so Drop/Fail decisions are ignored.
-		in.Inject(fault.BarrierFlush)
-	}
+	// Delay-only seam (fault.BarrierFlush): dropping a flush and then
+	// acknowledging would un-publish shades the trace-termination
+	// check relies on, so Drop/Fail decisions are ignored. Under a
+	// virtual scheduler this parks the mutator with entries buffered
+	// but nothing drained — the step that exposes any response made
+	// before its flush (the UnsafeBreakFlushBeforeAck needle).
+	c.seamDelay(fault.BarrierFlush)
 	var start time.Time
 	if m.ring != nil {
 		start = time.Now()

@@ -1,6 +1,9 @@
 package gc
 
-import "gengc/internal/heap"
+import (
+	"gengc/internal/fault"
+	"gengc/internal/heap"
+)
 
 // drainDirtyAllocatedCards visits every dirty card overlapping a block
 // assigned to some size class, draining the card table a word at a
@@ -16,6 +19,18 @@ import "gengc/internal/heap"
 // never exceed a block, so regions cover whole cards. Returns the number
 // of cards scanned (the Figure 22 "allocated cards" denominator).
 func (c *Collector) drainDirtyAllocatedCards(fn func(ci int)) int {
+	scan := fn
+	if c.seamArmed() {
+		// Per-card seam hit inside the §7.2 window: the card's mark is
+		// already cleared (step 1) but its objects are not yet scanned
+		// (step 2) — the exact interval where a mutator's concurrent
+		// update-then-mark must not be lost. Wrapped only when armed so
+		// the production scan stays branch-free per card.
+		scan = func(ci int) {
+			c.seamDelay(fault.CardScan)
+			fn(ci)
+		}
+	}
 	n := 0
 	pages := c.H.Pages != nil
 	c.H.AllocatedRegions(func(start, end heap.Addr) {
@@ -31,7 +46,7 @@ func (c *Collector) drainDirtyAllocatedCards(fn func(ci int)) int {
 			}
 			c.H.Pages.TouchCardByte(hi)
 		}
-		c.Cards.DrainDirtyIn(lo, hi, fn)
+		c.Cards.DrainDirtyIn(lo, hi, scan)
 	})
 	return n
 }

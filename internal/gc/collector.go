@@ -194,6 +194,12 @@ type Collector struct {
 	// so every injection point costs one pointer comparison.
 	flt *fault.Injector
 
+	// vsched is the armed virtual scheduler (cfg.Scheduler); nil in
+	// production. When set, every seam hit parks the caller on the
+	// scheduler and the handshake waits divert to Scheduler.Wait
+	// (sched.go).
+	vsched fault.Scheduler
+
 	// stalls counts handshake watchdog reports; abortedCycles counts
 	// cycles abandoned because Stop found the handshake wedged.
 	stalls        atomic.Int64
@@ -259,7 +265,7 @@ func New(cfg Config) (*Collector, error) {
 		return nil, err
 	}
 	c := &Collector{H: h, Cards: ct, cfg: cfg, rec: metrics.NewRecorder(),
-		retired: &metrics.Histogram{}, flt: cfg.Fault}
+		retired: &metrics.Histogram{}, flt: cfg.Fault, vsched: cfg.Scheduler}
 	if cfg.FlightRecorderEvents > 0 {
 		c.recorder = telemetry.NewRecorder(cfg.FlightRecorderEvents)
 	}

@@ -257,6 +257,28 @@ type Config struct {
 	// single pointer comparison.
 	Fault *fault.Injector
 
+	// Scheduler, when non-nil, arms the deterministic virtual-scheduler
+	// seam: every fault point becomes a schedulable step (the calling
+	// goroutine parks until the scheduler resumes it) and the
+	// collector's handshake/acknowledgement wait loops block on
+	// Scheduler.Wait instead of spinning. This is the model-checking
+	// hook (internal/modelcheck); it requires Workers == 1 (the virtual
+	// scheduler serializes execution, and the parallel phases spawn
+	// pool goroutines it does not control) and excludes Fault (the two
+	// consumers share the seam — the scheduler's Step decisions replace
+	// injector decisions wholesale).
+	Scheduler fault.Scheduler
+
+	// UnsafeBreakFlushBeforeAck re-introduces a historical protocol
+	// bug for verification demos: Cooperate publishes its handshake
+	// status and acknowledgement epoch *before* flushing the batched
+	// barrier buffers, un-ordering the flush from the response and
+	// breaking the trace-termination argument (barrier.go's first
+	// safety bullet). Only valid under a virtual scheduler — the
+	// model checker exists to catch exactly this, and nothing else
+	// may run with the ordering broken.
+	UnsafeBreakFlushBeforeAck bool
+
 	// Log, when non-nil, receives one line per collection cycle.
 	Log io.Writer
 
@@ -416,6 +438,17 @@ func (c Config) validate() error {
 	}
 	if c.DynamicTenure && c.Mode != GenerationalAging {
 		return fmt.Errorf("gc: %w: dynamic tenuring requires the aging mode", ErrInvalidConfig)
+	}
+	if c.Scheduler != nil {
+		if c.Workers != 1 {
+			return fmt.Errorf("gc: %w: a virtual scheduler requires Workers == 1 (got %d)", ErrInvalidConfig, c.Workers)
+		}
+		if c.Fault != nil {
+			return fmt.Errorf("gc: %w: a virtual scheduler excludes the fault injector", ErrInvalidConfig)
+		}
+	}
+	if c.UnsafeBreakFlushBeforeAck && c.Scheduler == nil {
+		return fmt.Errorf("gc: %w: UnsafeBreakFlushBeforeAck requires a virtual scheduler", ErrInvalidConfig)
 	}
 	return nil
 }

@@ -7,21 +7,12 @@ import (
 	"gengc/internal/fault"
 )
 
-// Polling parameters for the collector's wait loops. The paper
-// separates the handshake into postHandshake and waitHandshake (§7)
-// instead of using a second collector thread; we do the same.
-//
-// Once the yield budget is spent the collector sleeps with exponential
-// backoff: a fixed sleep either hammers the scheduler (too short) or
-// stretches the sync1/sync2 window (too long) — the backoff starts at
-// one microsecond, so a mutator that responds promptly costs almost
-// nothing, and doubles up to a 100µs cap, which bounds how stale the
-// collector's view of a slow mutator can get.
+// The collector's wait loops poll with the named backoff constants of
+// sched.go (HandshakeYieldBudget and friends — shared with the virtual
+// scheduler's time model). The paper separates the handshake into
+// postHandshake and waitHandshake (§7) instead of using a second
+// collector thread; we do the same.
 const (
-	handshakeYieldBudget = 1 << 15 // Gosched calls before sleeping
-	handshakeSleepMin    = time.Microsecond
-	handshakeSleepMax    = 100 * time.Microsecond
-
 	// watchdogCheckMask gates the watchdog's clock reads while the
 	// wait is still in its yield phase: the stall deadline is checked
 	// once per this many iterations, keeping the hot spin loop free
@@ -36,11 +27,10 @@ const (
 // postHandshake publishes a new collector status; mutators observe it at
 // their next safe point and update their own status.
 func (c *Collector) postHandshake(s Status) {
-	if c.flt != nil {
-		// Delay-only point: the publication itself must happen, so a
-		// Drop/Fail rule here degrades to its configured delay.
-		c.flt.Inject(fault.HandshakePost)
-	}
+	// Delay-only seam: the publication itself must happen, so a
+	// Drop/Fail rule here degrades to its configured delay (and the
+	// virtual scheduler just parks the collector before the store).
+	c.seamDelay(fault.HandshakePost)
 	c.statusC.Store(uint32(s))
 }
 
@@ -80,7 +70,7 @@ func (c *Collector) watchdog(w *stallWatch, lagging func(*Mutator) bool, slow bo
 	elapsed := time.Since(w.start)
 	grace := deadline
 	if grace <= 0 {
-		grace = time.Second
+		grace = StopGraceDefault
 	}
 	if closing && elapsed > grace {
 		return true
@@ -113,13 +103,17 @@ func (c *Collector) watchdog(w *stallWatch, lagging func(*Mutator) bool, slow bo
 // stayed unresponsive past the grace period.
 func (c *Collector) waitHandshake() bool {
 	target := c.statusC.Load()
+	if handled, ok := c.seamWait(fault.HandshakeWait,
+		func() bool { return c.allMutatorsAt(target) }); handled {
+		return ok
+	}
 	w := c.newWatch(phaseLabel(Status(target)))
 	lagging := func(m *Mutator) bool { return m.status.Load() != target }
 	for spin := 0; ; spin++ {
 		if c.allMutatorsAt(target) {
 			return true
 		}
-		if c.watchdog(&w, lagging, spin >= handshakeYieldBudget) {
+		if c.watchdog(&w, lagging, spin >= HandshakeYieldBudget) {
 			return false
 		}
 		yieldOrSleep(spin)
@@ -141,21 +135,18 @@ func phaseLabel(target Status) string {
 
 // yieldOrSleep cedes the processor while polling mutators: Gosched lets
 // a cooperating mutator run immediately (it yields back at its next safe
-// point). The yield budget is generous because falling back to a sleep
-// is expensive on a busy single-P system — a sleeping collector is only
-// rescheduled at the next preemption point, ~10 ms away, which would
-// stretch the sync1/sync2 window and prematurely promote everything
-// allocated inside it (§7.1). Past the budget, sleeps back off
-// exponentially from handshakeSleepMin to the handshakeSleepMax cap.
+// point). Past the yield budget, sleeps back off exponentially from
+// HandshakeSleepMin to the HandshakeSleepMax cap (the constants and
+// their rationale live in sched.go).
 func yieldOrSleep(spin int) {
-	if spin < handshakeYieldBudget {
+	if spin < HandshakeYieldBudget {
 		runtime.Gosched()
 		return
 	}
-	d := handshakeSleepMax
-	if shift := spin - handshakeYieldBudget; shift < 7 {
-		// 1, 2, 4, ... 64µs; from shift 7 the 100µs cap applies.
-		d = handshakeSleepMin << uint(shift)
+	d := HandshakeSleepMax
+	if shift := spin - HandshakeYieldBudget; shift < HandshakeBackoffDoublings {
+		// 1, 2, 4, ... 64µs; from the final doubling the cap applies.
+		d = HandshakeSleepMin << uint(shift)
 	}
 	time.Sleep(d)
 }
@@ -188,13 +179,20 @@ func (c *Collector) handshake(s Status) bool {
 // waitHandshake it is watched by the stall watchdog and returns false
 // only on the close-abort path.
 func (c *Collector) ackRound() bool {
-	if c.flt != nil {
-		// Delay-only point (a Drop/Fail rule degrades to its delay):
-		// the epoch bump must happen or the round never completes.
-		c.flt.Inject(fault.HandshakeAck)
-	}
+	// Delay-only seam (a Drop/Fail rule degrades to its delay): the
+	// epoch bump must happen or the round never completes.
+	c.seamDelay(fault.HandshakeAck)
 	start := time.Now()
 	e := c.ackEpoch.Add(1)
+	if handled, ok := c.seamWait(fault.AckWait,
+		func() bool { return c.allMutatorsAcked(e) }); handled {
+		if !ok {
+			return false
+		}
+		c.cyc.AckRounds++
+		c.emit("ack", start, "", e, 0)
+		return true
+	}
 	w := c.newWatch("ack")
 	lagging := func(m *Mutator) bool { return m.ack.Load() < e }
 	for spin := 0; ; spin++ {
@@ -203,7 +201,7 @@ func (c *Collector) ackRound() bool {
 			c.emit("ack", start, "", e, 0)
 			return true
 		}
-		if c.watchdog(&w, lagging, spin >= handshakeYieldBudget) {
+		if c.watchdog(&w, lagging, spin >= HandshakeYieldBudget) {
 			return false
 		}
 		yieldOrSleep(spin)

@@ -1,0 +1,180 @@
+package gc
+
+import (
+	"fmt"
+
+	"gengc/internal/heap"
+)
+
+// Shared protocol invariants, used by three auditors: the inter-cycle
+// self-check (Config.SelfCheck, selfcheck.go), the quiescent verifier
+// (Verify, verify.go) and the model checker (internal/modelcheck),
+// which calls the step-safe subset after every schedulable step of an
+// enumerated interleaving. Keeping the checks here — one body each —
+// means the model checker asserts exactly the invariants the runtime
+// audits on itself, not a reimplementation that could drift.
+//
+// Two safety classes:
+//
+//   - CheckQuiescentCycle is safe on the collector goroutine whenever
+//     a cycle just completed (mutators may keep running): it reads only
+//     atomics, the collector-owned mark stack, and lock-protected heap
+//     bookkeeping.
+//
+//   - The CheckReachable* and CheckBarrierBuffers walkers read mutator
+//     root stacks and barrier buffers that belong to their owning
+//     goroutines, with no locks. They are step-safe only under a
+//     virtual scheduler, where every actor is parked while the checker
+//     runs (the scheduler serializes execution); outside model
+//     checking, use Verify, which quiesces first.
+
+// CheckQuiescentCycle audits the collector's own post-cycle state:
+//
+//   - the trace machinery is quiesced (status async, trace predicate
+//     off, no queued or in-flight parallel work, empty mark stack),
+//   - allocator bookkeeping is consistent (heap.CheckIntegrity walks
+//     the free lists under the heap lock),
+//   - no object is left gray — the trace fixpoint plus the final
+//     acknowledgement round blackened every gray before the sweep, and
+//     in the async window between cycles the write barrier cannot
+//     produce new grays (mutators only gray during sync1/sync2 or
+//     while the collector is tracing).
+//
+// A violation means the cycle that just finished broke the collector's
+// own protocol, independent of whatever the mutators are doing.
+func (c *Collector) CheckQuiescentCycle() error {
+	if s := Status(c.statusC.Load()); s != StatusAsync {
+		return fmt.Errorf("gc: self-check: post-cycle status %v, want async", s)
+	}
+	if c.tracing.Load() {
+		return fmt.Errorf("gc: self-check: trace predicate still set after cycle")
+	}
+	if n := c.tracePending.Load(); n != 0 {
+		return fmt.Errorf("gc: self-check: %d objects still pending in worker deques", n)
+	}
+	if n := len(c.markStack); n != 0 {
+		return fmt.Errorf("gc: self-check: %d objects left on the mark stack", n)
+	}
+	if err := c.H.CheckIntegrity(); err != nil {
+		return fmt.Errorf("gc: self-check: %w", err)
+	}
+	var firstGray error
+	c.H.ForEachObject(func(addr heap.Addr) {
+		if firstGray == nil && c.H.Color(addr) == heap.Gray {
+			firstGray = fmt.Errorf("gc: self-check: object %#x left gray after cycle", addr)
+		}
+	})
+	return firstGray
+}
+
+// CheckReachable walks every object reachable from the roots — the
+// globals object, every attached mutator's root stack, and the slots of
+// everything found — calling visit once per distinct address before its
+// slots are followed. visit's error stops the walk and is returned with
+// the path context (which root family reached the address).
+//
+// Step-safe only under a virtual scheduler: the walk reads mutator root
+// stacks without synchronization (see the file comment).
+func (c *Collector) CheckReachable(visit func(addr heap.Addr) error) error {
+	seen := make(map[heap.Addr]bool)
+	var stack []heap.Addr
+	push := func(a heap.Addr) {
+		if a != 0 && !seen[a] {
+			seen[a] = true
+			stack = append(stack, a)
+		}
+	}
+	push(c.globals)
+	c.muts.Lock()
+	snapshot := append([]*Mutator(nil), c.muts.list...)
+	c.muts.Unlock()
+	for _, m := range snapshot {
+		if m.detached.Load() {
+			continue
+		}
+		for _, r := range m.roots {
+			push(r)
+		}
+	}
+	for len(stack) > 0 {
+		a := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if err := visit(a); err != nil {
+			return err
+		}
+		if !c.H.ValidObject(a) {
+			// visit tolerated it; nothing to walk.
+			continue
+		}
+		for i, n := 0, c.H.Slots(a); i < n; i++ {
+			push(c.H.LoadSlot(a, i))
+		}
+	}
+	return nil
+}
+
+// CheckReachableAllocated asserts that every reachable address is a
+// live allocated object — the lost-object invariant. It holds at every
+// step of every phase: the collector must never free (or recycle the
+// cell of) an object the mutators can still reach. This is the needle
+// detector for the protocol's historical failure modes (a store during
+// sync2 whose target the trace missed, a flush racing the final
+// acknowledgement, a dropped handshake with buffered cards).
+func (c *Collector) CheckReachableAllocated() error {
+	return c.CheckReachable(func(a heap.Addr) error {
+		if !c.H.ValidObject(a) {
+			return fmt.Errorf("gc: invariant: reachable address %#x is not a live object (freed or corrupt)", a)
+		}
+		if c.H.Color(a) == heap.Blue {
+			return fmt.Errorf("gc: invariant: reachable object %#x is blue (on a free list)", a)
+		}
+		return nil
+	})
+}
+
+// CheckNoReachableClear asserts that no reachable object still carries
+// the clear color. Valid only in the window where the trace has reached
+// its fixpoint but the cycle's sweep has not completed — from
+// tracing.Store(false) through the end of sweep — when every reachable
+// object must have been blackened (or be allocation-colored, §7.1); a
+// clear-colored reachable object there is about to be freed by the
+// ongoing sweep. The model checker runs it at sweep-shard steps.
+func (c *Collector) CheckNoReachableClear() error {
+	cc := heap.Color(c.clearColor.Load())
+	return c.CheckReachable(func(a heap.Addr) error {
+		if !c.H.ValidObject(a) {
+			return fmt.Errorf("gc: invariant: reachable address %#x is not a live object", a)
+		}
+		if c.H.Color(a) == cc {
+			return fmt.Errorf("gc: invariant: reachable object %#x still clear-colored (%v) during sweep", a, cc)
+		}
+		return nil
+	})
+}
+
+// CheckBarrierBuffers asserts the batched barrier's fourth safety
+// bullet (barrier.go): no buffered shade or card entry references a
+// blue (freed) object. Checkable at any step — a buffered entry
+// pointing at a free cell means a flush was lost across a sweep. Eager
+// mode holds vacuously (no buffers).
+func (c *Collector) CheckBarrierBuffers() error {
+	c.muts.Lock()
+	snapshot := append([]*Mutator(nil), c.muts.list...)
+	c.muts.Unlock()
+	for _, m := range snapshot {
+		if m.detached.Load() || m.bb == nil {
+			continue
+		}
+		for _, v := range m.bb.shade {
+			if v != 0 && c.H.ValidObject(v) && c.H.Color(v) == heap.Blue {
+				return fmt.Errorf("gc: invariant: mutator %d holds buffered shade of blue object %#x", m.id, v)
+			}
+		}
+		for _, x := range m.bb.cards {
+			if x != 0 && c.H.ValidObject(x) && c.H.Color(x) == heap.Blue {
+				return fmt.Errorf("gc: invariant: mutator %d holds buffered card entry for blue object %#x", m.id, x)
+			}
+		}
+	}
+	return nil
+}

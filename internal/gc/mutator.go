@@ -160,14 +160,15 @@ func (m *Mutator) Cooperate() {
 	if !statusChanged && !ackPending {
 		return
 	}
-	if in := m.c.flt; in != nil {
-		// The injection point for the stalled-mutator scenario: a
-		// Delay rule holds this thread right when the collector is
-		// waiting on it (the watchdog must surface that); Drop/Fail
-		// skip this response — the next safe point answers instead.
-		if drop, fail := in.Inject(fault.Cooperate); drop || fail {
-			return
-		}
+	// The combined injection/yield point for the stalled-mutator
+	// scenario: a Delay rule holds this thread right when the
+	// collector is waiting on it (the watchdog must surface that);
+	// Drop/Fail skip this response — the next safe point answers
+	// instead. Under a virtual scheduler this is where a pending
+	// response becomes one schedulable step (and a Drop decision is
+	// the enumerable "missed safe point" branch).
+	if drop, fail := m.c.seamStep(fault.Cooperate); drop || fail {
+		return
 	}
 	start := m.pauseStart()
 	// Drain the deferred barrier before responding: the status and ack
@@ -176,7 +177,14 @@ func (m *Mutator) Cooperate() {
 	// and card mark visible no later than the response itself. The
 	// flush also runs under the *old* status, so buffered shades see
 	// the same phase they were created under.
-	m.flushBarrier("handshake")
+	//
+	// UnsafeBreakFlushBeforeAck (model checking only) re-introduces
+	// the historical ordering bug by moving the flush after the
+	// response stores — cmd/gcverify must catch the lost object.
+	bugOrder := m.c.cfg.UnsafeBreakFlushBeforeAck
+	if !bugOrder {
+		m.flushBarrier("handshake")
+	}
 	cause := "ack"
 	if statusChanged {
 		if Status(m.status.Load()) == StatusSync2 {
@@ -200,6 +208,9 @@ func (m *Mutator) Cooperate() {
 	if e := m.c.ackEpoch.Load(); e != m.ack.Load() {
 		m.ack.Store(e)
 	}
+	if bugOrder {
+		m.flushBarrier("handshake")
+	}
 	// Hand the processor to the waiting collector: on a single
 	// P a compute-bound mutator would otherwise keep running a
 	// full preemption quantum, stretching the sync1/sync2 window
@@ -207,6 +218,17 @@ func (m *Mutator) Cooperate() {
 	// objects (§7.1).
 	runtime.Gosched()
 	m.recordPause(start, cause)
+}
+
+// PendingResponse reports whether this mutator's next Cooperate would
+// actually respond to something — a posted handshake status it has not
+// adopted or an acknowledgement epoch it has not stored. The virtual
+// scheduler's mutator drivers use it as their readiness predicate so an
+// idle scripted mutator blocks instead of spinning through no-op safe
+// points.
+func (m *Mutator) PendingResponse() bool {
+	return m.status.Load() != m.c.statusC.Load() ||
+		m.ack.Load() != m.c.ackEpoch.Load()
 }
 
 // pauseStart samples the clock iff pause accounting or tracing wants
@@ -466,8 +488,8 @@ func (m *Mutator) alloc(ctx context.Context, slots, size int) (heap.Addr, error)
 		}
 		var addr heap.Addr
 		var err error
-		if in := m.c.flt; in != nil {
-			if drop, fail := in.Inject(fault.Alloc); drop || fail {
+		if m.c.seamArmed() {
+			if drop, fail := m.c.seamStep(fault.Alloc); drop || fail {
 				// Injected transient exhaustion: exercise the same
 				// collect-and-retry path a real OOM takes.
 				err = fmt.Errorf("gc: injected allocation fault: %w", heap.ErrOutOfMemory)
@@ -528,15 +550,24 @@ func (m *Mutator) waitForFullCollection(ctx context.Context, attempt int) error 
 	defer func() { m.c.pacer.NoteAllocWait(time.Since(waitStart)) }()
 	m.c.fullWaiters.Add(1)
 	defer m.c.fullWaiters.Add(-1)
+	if m.c.vsched != nil {
+		// Under the virtual scheduler there is no background collector
+		// and spawning the helper goroutine below would escape the
+		// controlled actor set; heap exhaustion in a model-checking
+		// scenario is a scenario-sizing bug, so surface it immediately
+		// and deterministically.
+		return fmt.Errorf("gc: mutator %d: full collection wait under virtual scheduler: %w",
+			m.id, heap.ErrOutOfMemory)
+	}
 	start := m.c.fullsDone.Load()
 	if m.c.started.Load() {
 		m.c.request(true)
 	} else {
 		go m.c.CollectNow(true)
 	}
-	sleep := 50 * time.Microsecond << uint(attempt)
-	if sleep > time.Millisecond {
-		sleep = time.Millisecond
+	sleep := AllocWaitSleepBase << uint(attempt)
+	if sleep > AllocWaitSleepMax {
+		sleep = AllocWaitSleepMax
 	}
 	for m.c.fullsDone.Load() == start {
 		if m.c.closed.Load() {
@@ -570,7 +601,7 @@ func (m *Mutator) Collect(full bool) {
 			return
 		}
 		m.Cooperate()
-		time.Sleep(20 * time.Microsecond)
+		time.Sleep(CollectPollInterval)
 	}
 }
 

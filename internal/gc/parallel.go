@@ -224,13 +224,13 @@ func (c *Collector) traceWorkerLoop(id int, ws []*traceWorker) {
 	for {
 		x, ok := w.deque.pop()
 		if !ok {
-			if in := c.flt; in != nil {
+			if c.seamArmed() {
 				// A Drop rule models a steal scan that finds nothing
 				// (contention, unlucky victim order); Fail is coerced
 				// the same way — the loop simply retries, so the only
 				// observable effect is delayed termination, never a
 				// missed object (pending still counts it).
-				if drop, fail := in.Inject(fault.TraceSteal); drop || fail {
+				if drop, fail := c.seamStep(fault.TraceSteal); drop || fail {
 					if c.tracePending.Load() == 0 {
 						return
 					}
@@ -368,11 +368,9 @@ func (c *Collector) initFullParallel() {
 	var cursor atomic.Int64
 	cursor.Store(1) // block 0 is reserved
 	claim := func() bool {
-		if c.flt != nil {
-			// Delay-only, as in sweepParallel: the recoloring walk must
-			// visit every block.
-			c.flt.Inject(fault.SweepShard)
-		}
+		// Delay-only, as in sweepParallel: the recoloring walk must
+		// visit every block.
+		c.seamDelay(fault.SweepShard)
 		lo := int(cursor.Add(sweepChunkBlocks)) - sweepChunkBlocks
 		if lo >= nBlocks {
 			return false
@@ -451,12 +449,10 @@ func (c *Collector) sweepParallel(full bool) {
 		states[i].batch = make([]heap.Addr, 0, freeBatchSize)
 	}
 	claim := func(st *sweepState) bool {
-		if c.flt != nil {
-			// Delay-only point: skipping a claimed shard would leak the
-			// chunk's dead cells and corrupt the hint/aging bookkeeping,
-			// so Drop/Fail rules degrade to their configured delay.
-			c.flt.Inject(fault.SweepShard)
-		}
+		// Delay-only point: skipping a claimed shard would leak the
+		// chunk's dead cells and corrupt the hint/aging bookkeeping,
+		// so Drop/Fail rules degrade to their configured delay.
+		c.seamDelay(fault.SweepShard)
 		lo := int(cursor.Add(sweepChunkBlocks)) - sweepChunkBlocks
 		if lo >= nBlocks {
 			return false

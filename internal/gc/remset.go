@@ -1,6 +1,9 @@
 package gc
 
-import "gengc/internal/heap"
+import (
+	"gengc/internal/fault"
+	"gengc/internal/heap"
+)
 
 // Remembered-set support: §3.1 discusses the choice between card marking
 // and remembered sets for tracking inter-generational pointers and notes
@@ -37,6 +40,13 @@ func (c *Collector) drainRememberedSet() {
 	snapshot := append([]*Mutator(nil), c.muts.list...)
 	c.muts.Unlock()
 	drain := func(buf []heap.Addr) {
+		if len(buf) == 0 {
+			return
+		}
+		// Per-buffer seam hit (delay only): the inter-generational
+		// re-scan ordering step of a remembered-set partial — the
+		// remset counterpart of the card scan's §7.2 window.
+		c.seamDelay(fault.RemsetDrain)
 		for _, x := range buf {
 			c.H.Pages.TouchHeap(x, 1)
 			if c.H.Color(x) == heap.Black && c.H.CasColor(x, heap.Black, heap.Gray) {

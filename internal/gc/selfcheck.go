@@ -1,51 +1,12 @@
 package gc
 
-import (
-	"fmt"
-
-	"gengc/internal/heap"
-)
-
 // selfCheckCycle is the inter-cycle invariant audit (Config.SelfCheck):
 // it runs on the collector goroutine at the end of every completed
 // cycle, while the cycle lock is still held and the mutators keep
 // running. Unlike Verify it therefore only audits state that is stable
-// under concurrent mutation:
-//
-//   - allocator bookkeeping (heap.CheckIntegrity walks the free lists
-//     under the heap lock; colors and links are atomics),
-//   - the trace machinery is quiesced: status async, trace predicate
-//     off, no queued or in-flight parallel work,
-//   - no object is left gray — the trace fixpoint plus the final
-//     acknowledgement round blackened every gray before the sweep, and
-//     in the async window between cycles the write barrier cannot
-//     produce new grays (mutators only gray during sync1/sync2 or
-//     while the collector is tracing).
-//
-// A violation here means the cycle that just finished broke the
-// collector's own protocol, independent of whatever the mutators are
-// doing — exactly the class of bug rare chaos interleavings surface.
+// under concurrent mutation — the body lives in invariants.go
+// (CheckQuiescentCycle), shared verbatim with the model checker so the
+// two auditors cannot drift.
 func (c *Collector) selfCheckCycle() error {
-	if s := Status(c.statusC.Load()); s != StatusAsync {
-		return fmt.Errorf("gc: self-check: post-cycle status %v, want async", s)
-	}
-	if c.tracing.Load() {
-		return fmt.Errorf("gc: self-check: trace predicate still set after cycle")
-	}
-	if n := c.tracePending.Load(); n != 0 {
-		return fmt.Errorf("gc: self-check: %d objects still pending in worker deques", n)
-	}
-	if n := len(c.markStack); n != 0 {
-		return fmt.Errorf("gc: self-check: %d objects left on the mark stack", n)
-	}
-	if err := c.H.CheckIntegrity(); err != nil {
-		return fmt.Errorf("gc: self-check: %w", err)
-	}
-	var firstGray error
-	c.H.ForEachObject(func(addr heap.Addr) {
-		if firstGray == nil && c.H.Color(addr) == heap.Gray {
-			firstGray = fmt.Errorf("gc: self-check: object %#x left gray after cycle", addr)
-		}
-	})
-	return firstGray
+	return c.CheckQuiescentCycle()
 }

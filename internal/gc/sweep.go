@@ -180,10 +180,10 @@ func (c *Collector) sweep(full bool) {
 	st := &sweepState{batch: make([]heap.Addr, 0, freeBatchSize)}
 	nBlocks := c.H.NumBlocks()
 	for b := 1; b < nBlocks; b++ {
-		if c.flt != nil && (b-1)%sweepChunkBlocks == 0 {
+		if c.seamArmed() && (b-1)%sweepChunkBlocks == 0 {
 			// Same cadence as a parallel shard claim; delay-only —
 			// every block must be swept (see sweepParallel).
-			c.flt.Inject(fault.SweepShard)
+			c.seamDelay(fault.SweepShard)
 		}
 		c.sweepBlockOne(b, full, aging, cc, ac, oldest, st)
 	}

@@ -3,6 +3,7 @@ package gc
 import (
 	"time"
 
+	"gengc/internal/fault"
 	"gengc/internal/heap"
 )
 
@@ -52,7 +53,14 @@ func (c *Collector) drainStack() {
 	}
 	start := time.Now()
 	before := c.cyc.ObjectsScanned
+	// Hoisted armed check: the per-object seam hit (one schedulable
+	// step per popped object under a virtual scheduler, one injector
+	// evaluation under chaos) costs nothing when neither is installed.
+	seam := c.seamArmed()
 	for len(c.markStack) > 0 {
+		if seam {
+			c.seamDelay(fault.TraceDrain)
+		}
 		x := c.markStack[len(c.markStack)-1]
 		c.markStack = c.markStack[:len(c.markStack)-1]
 		c.markBlack(x)

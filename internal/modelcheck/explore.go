@@ -1,0 +1,278 @@
+package modelcheck
+
+import (
+	"time"
+)
+
+// Stateless DFS over schedules. Each completed run reports, per level,
+// the enabled choice set and the choice taken; the explorer backtracks
+// deepest-first, re-executing the scenario with a prefix that diverges
+// at one level and letting the default policy finish the run. Three
+// things keep the space tractable, and each is reported honestly:
+//
+//   - Preemption bounding (CHESS): a choice that switches away from a
+//     still-enabled running actor costs one preemption from a small
+//     budget; forced switches are free. Exhaustive therefore means
+//     "all schedules with at most Preempt preemptions, up to Depth
+//     steps" — which is where protocol bugs live: every needle in the
+//     catalog reproduces with a single preemption.
+//
+//   - Sleep sets: when a scenario declares an independence relation,
+//     alternatives whose exploration is provably redundant with an
+//     already-explored sibling are pruned (SleepPruned counts them).
+//
+//   - Depth and run-count caps as backstops (DepthCapped, Truncated).
+type Report struct {
+	Scenario string
+
+	// Runs is every schedule actually executed, including the
+	// minimization re-runs after a violation.
+	Runs int
+
+	// SleepPruned and PreemptSkipped count alternatives not explored,
+	// and why. PrefixMismatches counts replayed prefixes that stopped
+	// matching the enabled sets — zero unless determinism is broken.
+	SleepPruned      int
+	PreemptSkipped   int
+	PrefixMismatches int
+
+	// DepthCapped counts runs cut off at Options.Depth; Deadlocks
+	// counts runs that ended with no enabled actor.
+	DepthCapped int
+	Deadlocks   int
+
+	// MaxSteps and MaxVTime are the longest schedule seen and its
+	// virtual-time estimate under the gc/sched.go time model.
+	MaxSteps int
+	MaxVTime time.Duration
+
+	// Truncated reports that Options.MaxRuns stopped the exploration
+	// before the bounded space was exhausted.
+	Truncated bool
+
+	// Violation is the first violation found, minimized; nil means
+	// every explored schedule was clean.
+	Violation *Violation
+}
+
+// Violation is a minimized counterexample: replaying Schedule[:PrefixLen]
+// and letting the default policy finish reproduces Message.
+type Violation struct {
+	Message   string
+	Schedule  []Choice
+	PrefixLen int
+
+	// MinRuns is how many re-runs the prefix minimization used.
+	MinRuns int
+}
+
+// expLevel is one level of the DFS stack.
+type expLevel struct {
+	choices     []Choice
+	taken       Choice
+	prev        string
+	prevEnabled bool
+
+	// preBefore is the preemption cost of the takens above this level;
+	// an alternative here may spend preBefore + its own cost ≤ Preempt.
+	preBefore int
+
+	// sleep holds choices whose subtrees are covered by siblings
+	// explored from an earlier state (never explored, counted as
+	// pruned). done holds choices actually explored from this level —
+	// they seed the sleep sets of later siblings' subtrees. skip holds
+	// choices dismissed without exploration (sleep-pruned or over the
+	// preemption budget); they never seed a sleep set.
+	sleep map[Choice]bool
+	done  map[Choice]bool
+	skip  map[Choice]bool
+}
+
+// nextAlt returns the next unexplored alternative at this level, or
+// false when the level is exhausted.
+func (lv *expLevel) nextAlt(opts Options, rep *Report) (Choice, bool) {
+	for _, ch := range lv.choices {
+		if ch == lv.taken || lv.done[ch] || lv.skip[ch] {
+			continue
+		}
+		if lv.sleep[ch] {
+			lv.skip[ch] = true
+			rep.SleepPruned++
+			continue
+		}
+		cost := 0
+		if lv.prevEnabled && ch.Actor != lv.prev {
+			cost = 1
+		}
+		if lv.preBefore+cost > opts.Preempt {
+			lv.skip[ch] = true
+			rep.PreemptSkipped++
+			continue
+		}
+		return ch, true
+	}
+	return Choice{}, false
+}
+
+// Explore enumerates the scenario's schedules within opts and returns
+// the report; the first violation stops the search and is minimized.
+func Explore(sc *Scenario, opts Options) (*Report, error) {
+	opts = opts.withDefaults()
+	indep := sc.Indep
+	if indep == nil {
+		indep = func(a, b Choice) bool { return false }
+	}
+	rep := &Report{Scenario: sc.Name}
+
+	res, err := runScenario(sc, nil, opts)
+	if err != nil {
+		return nil, err
+	}
+	rep.Runs++
+	rep.observe(res)
+	if res.Violation != "" {
+		rep.minimize(sc, res, opts)
+		return rep, nil
+	}
+	stack := appendFresh(nil, res, 0, nil, indep)
+
+	for len(stack) > 0 {
+		if rep.Runs >= opts.MaxRuns {
+			rep.Truncated = true
+			break
+		}
+		L := len(stack) - 1
+		lv := stack[L]
+		alt, ok := lv.nextAlt(opts, rep)
+		if !ok {
+			stack = stack[:L]
+			continue
+		}
+
+		// The child's sleep set: everything slept or already explored
+		// here that is independent of the divergence — computed before
+		// alt joins done, so alt never sleeps in its own subtree.
+		childSleep := map[Choice]bool{}
+		for s := range lv.sleep {
+			if indep(s, alt) {
+				childSleep[s] = true
+			}
+		}
+		for s := range lv.done {
+			if indep(s, alt) {
+				childSleep[s] = true
+			}
+		}
+		lv.done[alt] = true
+
+		prefix := make([]Choice, 0, L+1)
+		for _, p := range stack[:L] {
+			prefix = append(prefix, p.taken)
+		}
+		prefix = append(prefix, alt)
+
+		res, err := runScenario(sc, prefix, opts)
+		if err != nil {
+			return nil, err
+		}
+		rep.Runs++
+		rep.observe(res)
+		if res.PrefixMismatch {
+			rep.PrefixMismatches++
+			continue
+		}
+		if res.Violation != "" {
+			rep.minimize(sc, res, opts)
+			return rep, nil
+		}
+
+		// Commit the divergence and grow the stack from the new run's
+		// deeper levels.
+		lv.taken = alt
+		stack = appendFresh(stack[:L+1], res, L+1, childSleep, indep)
+	}
+	return rep, nil
+}
+
+// appendFresh extends the DFS stack with the run's levels from start
+// on. firstSleep is the sleep set of level start; deeper fresh levels
+// inherit the part of it independent of each taken choice in turn.
+func appendFresh(stack []*expLevel, res *RunResult, start int, firstSleep map[Choice]bool, indep func(a, b Choice) bool) []*expLevel {
+	pre := 0
+	for i := 0; i < start; i++ {
+		li := res.Levels[i]
+		if li.PrevEnabled && li.Taken.Actor != li.Prev {
+			pre++
+		}
+	}
+	sleep := firstSleep
+	if sleep == nil {
+		sleep = map[Choice]bool{}
+	}
+	for j := start; j < len(res.Levels); j++ {
+		li := res.Levels[j]
+		stack = append(stack, &expLevel{
+			choices:     li.Choices,
+			taken:       li.Taken,
+			prev:        li.Prev,
+			prevEnabled: li.PrevEnabled,
+			preBefore:   pre,
+			sleep:       sleep,
+			done:        map[Choice]bool{li.Taken: true},
+			skip:        map[Choice]bool{},
+		})
+		if li.PrevEnabled && li.Taken.Actor != li.Prev {
+			pre++
+		}
+		next := map[Choice]bool{}
+		for s := range sleep {
+			if indep(s, li.Taken) {
+				next[s] = true
+			}
+		}
+		sleep = next
+	}
+	return stack
+}
+
+// observe folds one run's outcome into the report counters.
+func (rep *Report) observe(r *RunResult) {
+	if r.Steps > rep.MaxSteps {
+		rep.MaxSteps = r.Steps
+	}
+	if r.VTime > rep.MaxVTime {
+		rep.MaxVTime = r.VTime
+	}
+	if r.DepthCapped {
+		rep.DepthCapped++
+	}
+	if r.Deadlock {
+		rep.Deadlocks++
+	}
+}
+
+// minimize greedily shortens the failing schedule: the shortest prefix
+// whose default continuation still reproduces a violation is the
+// counterexample that ships in the replay file. (Any violation counts —
+// a shorter schedule tripping a different invariant is still a bug,
+// and usually the same one seen earlier.)
+func (rep *Report) minimize(sc *Scenario, res *RunResult, opts Options) {
+	sched := res.Schedule()
+	v := &Violation{Message: res.Violation, Schedule: sched, PrefixLen: len(sched)}
+	rep.Violation = v
+	for cut := 0; cut <= len(sched); cut++ {
+		r2, err := runScenario(sc, sched[:cut], opts)
+		if err != nil {
+			return
+		}
+		rep.Runs++
+		v.MinRuns++
+		rep.observe(r2)
+		if r2.Violation != "" {
+			v.Message = r2.Violation
+			v.Schedule = r2.Schedule()
+			v.PrefixLen = cut
+			return
+		}
+	}
+}

@@ -1,0 +1,268 @@
+package modelcheck
+
+import (
+	"fmt"
+
+	"gengc/internal/gc"
+)
+
+// The needle catalog. Each scenario plants an object whose survival
+// depends on one delicate leg of the protocol, then enumerates every
+// schedule within the bounds and asserts the needle survived all of
+// them — plus the per-step invariants of run.go on the way. The
+// scenarios correspond to the historical failure modes of on-the-fly
+// collectors: a store during the sync windows (Figure 1's two-shade
+// barrier), a batched flush racing the final acknowledgement round
+// (barrier.go's first safety bullet), a dropped safe point with
+// buffered card marks (§7.2), and the remembered-set variant of the
+// inter-generational re-scan.
+
+// setupOldChain attaches a temporary mutator, allocates an object with
+// slots pointer slots, publishes it in globals slot 0, detaches, and
+// runs warm partial collections so the object ends up old (black;
+// tenured after two cycles in aging mode). The object is left pristine
+// — no stores into it — so its card is clean and nothing masks a
+// lost buffered card mark.
+func setupOldChain(env *Env, name string, slots, warmCycles int) error {
+	t := env.C.NewMutator()
+	x, err := t.Alloc(slots, 0)
+	if err != nil {
+		t.Detach()
+		return err
+	}
+	t.Update(env.C.Globals(), 0, x)
+	t.Detach()
+	for i := 0; i < warmCycles; i++ {
+		env.C.CollectNow(false)
+	}
+	env.Addrs[name] = x
+	return nil
+}
+
+// syncStoreRace: the protagonist allocates w, roots it, stores it into
+// the old object z during whatever phase the schedule lands on, then
+// drops the root — w's survival must follow from the phase-dependent
+// write-barrier cases of Figure 1 (§7.1's acceptance window included)
+// in every interleaving. A rootless, opless bystander mutator rides
+// along: its safe-point responses are provably independent of the
+// protagonist's steps, which is what the sleep-set reduction prunes.
+func syncStoreRace() *Scenario {
+	return &Scenario{
+		Name: "sync-store-race",
+		Description: "store into an old object racing the sync1/sync2 windows; " +
+			"the two-shade barrier must keep the stored object alive in every schedule",
+		Config:   func() gc.Config { return microConfig(gc.Generational, gc.BarrierEager) },
+		Setup:    func(env *Env) error { return setupOldChain(env, "z", 2, 1) },
+		Mutators: []string{"mut", "idle"},
+		Actors: []ActorDecl{
+			collectorActor(2),
+			{Name: "mut", Run: func(env *Env) error {
+				return DriveMutator(env, "mut", []Op{
+					coopOp(),
+					allocRootOp("w", 1),
+					coopOp(),
+					storeOp("z", 0, "w"),
+					coopOp(),
+					dropRootOp("w"),
+				})
+			}},
+			{Name: "idle", Run: func(env *Env) error { return DriveMutator(env, "idle", nil) }},
+		},
+		Indep: func(a, b Choice) bool {
+			// The bystander owns no roots, no objects and no barrier
+			// buffers; its safe-point responses touch only its own
+			// status/ack words, which the protagonist never reads —
+			// and vice versa. Drop variants are never declared
+			// independent (a drop changes which future choices exist).
+			if a.Drop || b.Drop {
+				return false
+			}
+			return (a.Actor == "mut" && b.Actor == "idle") ||
+				(a.Actor == "idle" && b.Actor == "mut")
+		},
+		AtEnd: func(env *Env) error {
+			if err := assertAlive(env, "w"); err != nil {
+				return err
+			}
+			if err := assertSlot(env, "z", 0, "w"); err != nil {
+				return err
+			}
+			if err := assertAlive(env, "z"); err != nil {
+				return err
+			}
+			return quiescentAudit(env, true)
+		},
+	}
+}
+
+// flushVsAck: batched barrier. Setup leaves old x with x.0 = o (o
+// clear-colored once the test cycle toggles) and x's card dirty. The
+// protagonist pre-arms a root slot, lets the handshakes pass, then
+// resurrects o into the root and deletes x.0 — the deletion barrier's
+// shade of o sits in the batched buffer, and the only thing standing
+// between o and the sweep is the flush-before-ack ordering of
+// Cooperate. With -break flush-before-ack the historical inversion is
+// re-introduced and the checker must produce a schedule where the
+// collector's termination round slips between the acknowledgement
+// store and the flush, frees o, and trips the reachability invariant.
+func flushVsAck() *Scenario {
+	return &Scenario{
+		Name: "flush-vs-ack",
+		Description: "batched-barrier flush racing the trace-termination acknowledgement; " +
+			"a buffered SATB shade must be published before the ack that lets the trace finish",
+		Config: func() gc.Config { return microConfig(gc.Generational, gc.BarrierBatched) },
+		Setup: func(env *Env) error {
+			if err := setupOldChain(env, "x", 1, 1); err != nil {
+				return err
+			}
+			// Phase 2: allocate o *after* the warm cycle so the test
+			// cycle's color toggle makes it clear-colored (sweepable),
+			// and publish x.0 = o; the detach flush dirties x's card.
+			t := env.C.NewMutator()
+			o, err := t.Alloc(1, 0)
+			if err != nil {
+				t.Detach()
+				return err
+			}
+			t.Update(env.Addrs["x"], 0, o)
+			t.Detach()
+			env.Addrs["o"] = o
+			return nil
+		},
+		Mutators: []string{"mut"},
+		Actors: []ActorDecl{
+			collectorActor(1),
+			{Name: "mut", Run: func(env *Env) error {
+				return DriveMutator(env, "mut", []Op{
+					pushNilRootOp("root-o"),
+					coopOp(),
+					coopOp(),
+					coopOp(),
+					setRootOp("root-o", "o"),
+					storeOp("x", 0, ""),
+					coopOp(),
+				})
+			}},
+		},
+		AtEnd: func(env *Env) error {
+			if err := assertAlive(env, "o"); err != nil {
+				return err
+			}
+			if err := assertSlot(env, "x", 0, ""); err != nil {
+				return err
+			}
+			if err := assertAlive(env, "x"); err != nil {
+				return err
+			}
+			return quiescentAudit(env, true)
+		},
+	}
+}
+
+// droppedHandshake: aging mode with OldAge 1, batched barrier, and a
+// drop budget of one safe-point response. The protagonist stores young
+// y into tenured, clean-carded x — the card mark rides the batched
+// buffer — and the schedule may make any one Cooperate a missed safe
+// point. The protocol's obligation: the buffered card must still be
+// published before any card scan that needs it (the next response
+// flushes first, and no cycle can pass the handshake without a
+// response), so y survives both cycles in every schedule including
+// the dropped ones.
+func droppedHandshake() *Scenario {
+	return &Scenario{
+		Name: "dropped-handshake",
+		Description: "missed safe point with a buffered card mark; the next response must " +
+			"publish the card before any scan that depends on it",
+		Config: func() gc.Config {
+			cfg := microConfig(gc.GenerationalAging, gc.BarrierBatched)
+			cfg.OldAge = 1
+			return cfg
+		},
+		Setup: func(env *Env) error {
+			// Two warm cycles: survive once (demoted, age 1), survive
+			// again at the threshold — x is tenured with a clean card.
+			return setupOldChain(env, "x", 2, 2)
+		},
+		Mutators: []string{"mut"},
+		Actors: []ActorDecl{
+			collectorActor(2),
+			{Name: "mut", Run: func(env *Env) error {
+				return DriveMutator(env, "mut", []Op{
+					allocRootOp("y", 1),
+					coopOp(),
+					storeOp("x", 0, "y"),
+					coopOp(),
+					dropRootOp("y"),
+					coopOp(),
+				})
+			}},
+		},
+		DropPoints: map[string]int{"cooperate": 1},
+		AtEnd: func(env *Env) error {
+			if err := assertAlive(env, "y"); err != nil {
+				return err
+			}
+			if err := assertSlot(env, "x", 0, "y"); err != nil {
+				return err
+			}
+			return quiescentAudit(env, true)
+		},
+	}
+}
+
+// remsetDrain: the remembered-set variant of the inter-generational
+// needle — the store into old x records x in the mutator's remembered
+// set instead of marking a card, and the collector's drain (the
+// fault.RemsetDrain seam) must re-gray x before the trace that decides
+// y's fate, in every schedule.
+func remsetDrain() *Scenario {
+	return &Scenario{
+		Name: "remset-drain",
+		Description: "remembered-set record racing the partial collection's drain; " +
+			"the recorded old object must be re-grayed before the trace that keeps its young target alive",
+		Config: func() gc.Config {
+			cfg := microConfig(gc.Generational, gc.BarrierEager)
+			cfg.UseRememberedSet = true
+			return cfg
+		},
+		Setup:    func(env *Env) error { return setupOldChain(env, "x", 2, 1) },
+		Mutators: []string{"mut"},
+		Actors: []ActorDecl{
+			collectorActor(2),
+			{Name: "mut", Run: func(env *Env) error {
+				return DriveMutator(env, "mut", []Op{
+					allocRootOp("y", 1),
+					coopOp(),
+					storeOp("x", 0, "y"),
+					coopOp(),
+					dropRootOp("y"),
+					coopOp(),
+				})
+			}},
+		},
+		AtEnd: func(env *Env) error {
+			if err := assertAlive(env, "y"); err != nil {
+				return err
+			}
+			if err := assertSlot(env, "x", 0, "y"); err != nil {
+				return err
+			}
+			return quiescentAudit(env, false)
+		},
+	}
+}
+
+// Scenarios returns the named scenarios in their canonical order.
+func Scenarios() []*Scenario {
+	return []*Scenario{syncStoreRace(), flushVsAck(), droppedHandshake(), remsetDrain()}
+}
+
+// ByName resolves one scenario.
+func ByName(name string) (*Scenario, error) {
+	for _, sc := range Scenarios() {
+		if sc.Name == name {
+			return sc, nil
+		}
+	}
+	return nil, fmt.Errorf("modelcheck: unknown scenario %q", name)
+}
